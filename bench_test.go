@@ -1,0 +1,234 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§4), plus the design-choice ablations and raw
+// simulator throughput. Each benchmark regenerates its figure at a
+// reduced commit budget and reports the headline comparison via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. Use cmd/experiments for full-budget runs.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// benchCommits is the per-run commit budget for benchmark-harness runs;
+// cmd/experiments defaults to 300k for the recorded EXPERIMENTS.md
+// numbers.
+const benchCommits = 60000
+
+var (
+	prepOnce sync.Once
+	prepped  []stats.Programs
+	prepErr  error
+)
+
+func suite(b *testing.B) []stats.Programs {
+	b.Helper()
+	prepOnce.Do(func() {
+		prepped, prepErr = stats.Prepare(bench.Suite(), 150000)
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepped
+}
+
+// BenchmarkTable1Config regenerates Table 1 (architectural parameters).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if len(cfg.Table1()) == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: conventional vs predicate
+// predictor on the non-if-converted binaries.
+func BenchmarkFigure5(b *testing.B) {
+	progs := suite(b)
+	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		runs := stats.RunMatrix(progs, schemes, false, benchCommits, nil)
+		tab, err := stats.Tabulate("fig5", schemes, runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.Average(config.SchemeConventional), "conv-mispred-%")
+		b.ReportMetric(tab.Average(config.SchemePredicate), "predpred-mispred-%")
+		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "accuracy-gain-pp")
+	}
+}
+
+// BenchmarkFigure5Ideal regenerates the §4.2 idealized experiment
+// (no alias conflicts, perfect global-history update).
+func BenchmarkFigure5Ideal(b *testing.B) {
+	progs := suite(b)
+	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		runs := stats.RunMatrix(progs, schemes, false, benchCommits, func(c *config.Config) {
+			c.IdealNoAlias, c.IdealPerfectGHR = true, true
+		})
+		tab, err := stats.Tabulate("fig5ideal", schemes, runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "ideal-gain-pp")
+	}
+}
+
+// BenchmarkFigure6a regenerates Figure 6a: PEP-PA vs conventional vs
+// predicate predictor on the if-converted binaries.
+func BenchmarkFigure6a(b *testing.B) {
+	progs := suite(b)
+	schemes := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		runs := stats.RunMatrix(progs, schemes, true, benchCommits, nil)
+		tab, err := stats.Tabulate("fig6a", schemes, runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.Average(config.SchemePEPPA), "peppa-mispred-%")
+		b.ReportMetric(tab.Average(config.SchemeConventional), "conv-mispred-%")
+		b.ReportMetric(tab.Average(config.SchemePredicate), "predpred-mispred-%")
+		b.ReportMetric(float64(tab.Wins(config.SchemePredicate)), "predpred-wins")
+	}
+}
+
+// BenchmarkFigure6b regenerates Figure 6b: the early-resolved vs
+// correlation breakdown of the accuracy difference.
+func BenchmarkFigure6b(b *testing.B) {
+	progs := suite(b)
+	one := []config.Scheme{config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		runs := stats.RunMatrix(progs, one, true, benchCommits, nil)
+		bd, err := stats.BreakdownTable(runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var early, corr float64
+		for _, r := range bd {
+			early += r.Early
+			corr += r.Correlation
+		}
+		n := float64(len(bd))
+		b.ReportMetric(early/n, "early-resolved-pp")
+		b.ReportMetric(corr/n, "correlation-pp")
+	}
+}
+
+// BenchmarkFigure6Ideal regenerates the §4.3 idealized experiment on
+// if-converted binaries.
+func BenchmarkFigure6Ideal(b *testing.B) {
+	progs := suite(b)
+	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		runs := stats.RunMatrix(progs, schemes, true, benchCommits, func(c *config.Config) {
+			c.IdealNoAlias, c.IdealPerfectGHR = true, true
+		})
+		tab, err := stats.Tabulate("fig6ideal", schemes, runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "ideal-gain-pp")
+	}
+}
+
+// ablationSubset picks the six ablation benchmarks.
+func ablationSubset(b *testing.B) []stats.Programs {
+	var out []stats.Programs
+	for _, pg := range suite(b) {
+		switch pg.Spec.Name {
+		case "gzip", "vpr", "twolf", "parser", "swim", "mesa":
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// BenchmarkAblationSplitPVT compares the shared PVT with two hash
+// functions against a statically split PVT (§3.3).
+func BenchmarkAblationSplitPVT(b *testing.B) {
+	progs := ablationSubset(b)
+	one := []config.Scheme{config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		shared := stats.RunMatrix(progs, one, true, benchCommits, nil)
+		split := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) { c.SplitPVT = true })
+		var a, s float64
+		for j := range shared {
+			a += 100 * shared[j].Stats.MispredictRate()
+			s += 100 * split[j].Stats.MispredictRate()
+		}
+		n := float64(len(shared))
+		b.ReportMetric(a/n, "shared-mispred-%")
+		b.ReportMetric(s/n, "split-mispred-%")
+	}
+}
+
+// BenchmarkAblationSelectivePredication compares selective predication
+// against the select-µop baseline on IPC (§3.2).
+func BenchmarkAblationSelectivePredication(b *testing.B) {
+	progs := ablationSubset(b)
+	one := []config.Scheme{config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		sel := stats.RunMatrix(progs, one, true, benchCommits, nil)
+		base := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) {
+			c.Predication = config.PredicationSelect
+		})
+		var a, s float64
+		for j := range sel {
+			a += sel[j].Stats.IPC()
+			s += base[j].Stats.IPC()
+		}
+		b.ReportMetric(100*(a/s-1), "ipc-speedup-%")
+	}
+}
+
+// BenchmarkAblationGHRCorruption measures the cost of speculative
+// global-history corruption against the perfect-GHR idealization (§3.3).
+func BenchmarkAblationGHRCorruption(b *testing.B) {
+	progs := ablationSubset(b)
+	one := []config.Scheme{config.SchemePredicate}
+	for i := 0; i < b.N; i++ {
+		spec := stats.RunMatrix(progs, one, true, benchCommits, nil)
+		perf := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) { c.IdealPerfectGHR = true })
+		var a, p float64
+		for j := range spec {
+			a += 100 * spec[j].Stats.MispredictRate()
+			p += 100 * perf[j].Stats.MispredictRate()
+		}
+		b.ReportMetric((a-p)/float64(len(spec)), "corruption-cost-pp")
+	}
+}
+
+// BenchmarkPipelineThroughput measures raw simulator speed (committed
+// instructions per wall second) for each scheme on one benchmark.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	progs := suite(b)
+	var vpr stats.Programs
+	for _, pg := range progs {
+		if pg.Spec.Name == "vpr" {
+			vpr = pg
+		}
+	}
+	for _, s := range []config.Scheme{config.SchemeConventional, config.SchemePredicate, config.SchemePEPPA} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := config.Default().WithScheme(s)
+				if _, err := stats.Simulate(cfg, vpr.Plain, 50000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(50000*float64(b.N)/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}

@@ -1,0 +1,229 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (§4):
+//
+//	-table1    Table 1, the architectural parameters
+//	-fig5      Figure 5: misprediction rates, non-if-converted binaries
+//	-fig5ideal §4.2 idealized variant (no aliasing, perfect history)
+//	-fig6a     Figure 6a: misprediction rates, if-converted binaries
+//	-fig6b     Figure 6b: early-resolved vs correlation breakdown
+//	-fig6ideal §4.3 idealized variant
+//	-ablate    design-choice ablations from §3.2/§3.3
+//	-all       everything above
+//
+// Absolute rates depend on the synthetic SPEC2000 stand-in suite (see
+// DESIGN.md); the comparisons and their shapes are the reproduction
+// target, recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "print Table 1")
+		fig5      = flag.Bool("fig5", false, "run Figure 5")
+		fig5ideal = flag.Bool("fig5ideal", false, "run the §4.2 idealized experiment")
+		fig6a     = flag.Bool("fig6a", false, "run Figure 6a")
+		fig6b     = flag.Bool("fig6b", false, "run Figure 6b")
+		fig6ideal = flag.Bool("fig6ideal", false, "run the §4.3 idealized experiment")
+		ablate    = flag.Bool("ablate", false, "run the design-choice ablations")
+		all       = flag.Bool("all", false, "run everything")
+		commits   = flag.Uint64("n", 300000, "committed instructions per run")
+		profSteps = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig5, *fig5ideal, *fig6a, *fig6b, *fig6ideal, *ablate = true, true, true, true, true, true, true
+	}
+	if !(*table1 || *fig5 || *fig5ideal || *fig6a || *fig6b || *fig6ideal || *ablate) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		fmt.Println(config.Default().Table1())
+	}
+
+	needSim := *fig5 || *fig5ideal || *fig6a || *fig6b || *fig6ideal || *ablate
+	if !needSim {
+		return
+	}
+	progs, err := stats.Prepare(bench.Suite(), *profSteps)
+	if err != nil {
+		fatal(err)
+	}
+
+	two := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	three := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+
+	if *fig5 {
+		runs := stats.RunMatrix(progs, two, false, *commits, nil)
+		tab := mustTab("Figure 5: branch misprediction rate, NON-if-converted binaries", two, runs)
+		fmt.Println(tab.Render())
+		fmt.Printf("average accuracy increase of the predicate predictor: %+.2fpp (paper: +1.86%%)\n",
+			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
+		fmt.Printf("predicate predictor best on %d of %d benchmarks (paper: all but 3)\n\n",
+			tab.Wins(config.SchemePredicate), len(tab.Rows))
+	}
+
+	if *fig5ideal {
+		runs := stats.RunMatrix(progs, two, false, *commits, func(c *config.Config) {
+			c.IdealNoAlias, c.IdealPerfectGHR = true, true
+		})
+		tab := mustTab("§4.2 idealized (no aliasing, perfect global history), NON-if-converted", two, runs)
+		fmt.Println(tab.Render())
+		fmt.Printf("idealized accuracy increase: %+.2fpp (paper: +2.24%%, consistent across all benchmarks)\n\n",
+			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
+	}
+
+	var fig6runs []stats.Run
+	if *fig6a || *fig6b {
+		fig6runs = stats.RunMatrix(progs, three, true, *commits, nil)
+	}
+
+	if *fig6a {
+		tab := mustTab("Figure 6a: branch misprediction rate, IF-CONVERTED binaries", three, fig6runs)
+		fmt.Println(tab.Render())
+		fmt.Printf("average accuracy increase vs best other scheme: %+.2fpp (paper: +1.5%%)\n",
+			tab.AccuracyDelta(config.SchemePredicate, bestOther(tab)))
+		fmt.Printf("predicate predictor best on %d of %d benchmarks (paper: all but twolf)\n\n",
+			tab.Wins(config.SchemePredicate), len(tab.Rows))
+	}
+
+	if *fig6b {
+		bd, err := stats.BreakdownTable(fig6runs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(stats.RenderBreakdown(bd))
+		fmt.Println("paper: +1.0pp correlation, +0.5pp early-resolved on average;")
+		fmt.Println("the correlation bar also absorbs the scheme's negative effects (§4.3)")
+		fmt.Println()
+	}
+
+	if *fig6ideal {
+		runs := stats.RunMatrix(progs, two, true, *commits, func(c *config.Config) {
+			c.IdealNoAlias, c.IdealPerfectGHR = true, true
+		})
+		tab := mustTab("§4.3 idealized (no aliasing, perfect global history), IF-CONVERTED", two, runs)
+		fmt.Println(tab.Render())
+		fmt.Printf("idealized accuracy increase: %+.2fpp (paper: ~+2%%, consistent improvement)\n\n",
+			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
+	}
+
+	if *ablate {
+		runAblations(progs, *commits)
+	}
+}
+
+// bestOther returns the non-predicate scheme with the lowest average
+// rate in the table.
+func bestOther(t *stats.Table) config.Scheme {
+	best := config.SchemeConventional
+	for _, s := range t.Schemes {
+		if s != config.SchemePredicate && t.Average(s) < t.Average(best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// runAblations exercises the §3.2/§3.3 design choices on a benchmark
+// subset: shared-PVT-with-two-hashes vs split PVT, selective
+// predication vs select µops (IPC), confidence counter width, and the
+// GHR corruption effect (perfect-GHR on/off).
+func runAblations(progs []stats.Programs, commits uint64) {
+	subset := progs[:0:0]
+	for _, pg := range progs {
+		switch pg.Spec.Name {
+		case "gzip", "vpr", "twolf", "parser", "swim", "mesa":
+			subset = append(subset, pg)
+		}
+	}
+	one := []config.Scheme{config.SchemePredicate}
+
+	fmt.Println("Ablation 1: shared PVT + two hash functions vs statically split PVT (§3.3)")
+	shared := stats.RunMatrix(subset, one, true, commits, nil)
+	split := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.SplitPVT = true })
+	_ = split
+	tabShared := mustTab("  shared", one, shared)
+	tabSplit := mustTab("  split", one, split)
+	fmt.Printf("%-10s %10s %10s\n", "benchmark", "shared", "split")
+	for i, r := range tabShared.Rows {
+		fmt.Printf("%-10s %9.2f%% %9.2f%%\n", r.Bench,
+			r.Rate[config.SchemePredicate], tabSplit.Rows[i].Rate[config.SchemePredicate])
+	}
+	fmt.Printf("%-10s %9.2f%% %9.2f%%  (shared should not be worse: it avoids wasting rows on p0 destinations)\n\n",
+		"AVG", tabShared.Average(config.SchemePredicate), tabSplit.Average(config.SchemePredicate))
+
+	fmt.Println("Ablation 2: selective predication vs select-µop baseline (IPC on if-converted code, §3.2)")
+	selective := stats.RunMatrix(subset, one, true, commits, nil)
+	selOnly := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) {
+		c.Predication = config.PredicationSelect
+	})
+	fmt.Printf("%-10s %10s %10s %8s\n", "benchmark", "selective", "select", "speedup")
+	var sSel, sBase float64
+	for i := range selective {
+		a, b := selective[i].Stats.IPC(), selOnly[i].Stats.IPC()
+		sSel += a
+		sBase += b
+		fmt.Printf("%-10s %10.3f %10.3f %7.1f%%\n", selective[i].Bench, a, b, 100*(a/b-1))
+	}
+	fmt.Printf("%-10s %10.3f %10.3f %7.1f%%\n", "AVG",
+		sSel/float64(len(selective)), sBase/float64(len(selOnly)), 100*(sSel/sBase-1))
+	fmt.Println("  note: the paper cites +11% IPC from [16] against weaker predication")
+	fmt.Println("  baselines (e.g. predict-all + selective replay); our baseline is already")
+	fmt.Println("  an efficient select-µop scheme, so the recovery cost of mispredicted")
+	fmt.Println("  confident predicates dominates here (see EXPERIMENTS.md).")
+	fmt.Println()
+
+	fmt.Println("Ablation 3: confidence counter width (selective predication aggressiveness)")
+	fmt.Printf("%-6s %12s %12s %12s %10s\n", "bits", "mispred", "cancelled", "selectops", "IPC")
+	for _, bits := range []uint{1, 2, 3, 4} {
+		runs := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.ConfBits = bits })
+		var mis, ipc float64
+		var can, sel uint64
+		for _, r := range runs {
+			mis += 100 * r.Stats.MispredictRate()
+			ipc += r.Stats.IPC()
+			can += r.Stats.Cancelled
+			sel += r.Stats.SelectOps
+		}
+		n := float64(len(runs))
+		fmt.Printf("%-6d %11.2f%% %12d %12d %10.3f\n", bits, mis/n, can, sel, ipc/n)
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation 4: global-history corruption (§3.3) — with and without the")
+	fmt.Println("recovery action that repairs a resolved compare's speculative GHR bit")
+	repaired := stats.RunMatrix(subset, one, true, commits, nil)
+	corrupted := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.DisableGHRRepair = true })
+	var a, b float64
+	for i := range repaired {
+		a += 100 * repaired[i].Stats.MispredictRate()
+		b += 100 * corrupted[i].Stats.MispredictRate()
+	}
+	n := float64(len(repaired))
+	fmt.Printf("with repair: %.2f%%   without repair: %.2f%%   corruption cost: %.2fpp (paper: <0.5pp residual)\n",
+		a/n, b/n, b/n-a/n)
+}
+
+func mustTab(title string, schemes []config.Scheme, runs []stats.Run) *stats.Table {
+	t, err := stats.Tabulate(title, schemes, runs)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

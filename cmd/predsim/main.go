@@ -1,0 +1,145 @@
+// Command predsim runs one benchmark (or all of them) on the
+// out-of-order pipeline under a chosen branch-prediction scheme and
+// prints the resulting statistics.
+//
+// Examples:
+//
+//	predsim -bench vpr -scheme predpred -ifconvert -n 300000
+//	predsim -bench twolf -scheme conventional
+//	predsim -list
+//	predsim -disasm -bench gzip | head -50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/ifconvert"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+)
+
+func main() {
+	var (
+		asmFile   = flag.String("asm", "", "assemble and run this file instead of a suite benchmark")
+		benchName = flag.String("bench", "gzip", "benchmark name (see -list)")
+		scheme    = flag.String("scheme", "predpred", "prediction scheme: conventional | predpred | peppa")
+		ifconv    = flag.Bool("ifconvert", false, "run the if-converted binary (profile-guided)")
+		commits   = flag.Uint64("n", 300000, "committed-instruction budget")
+		profile   = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
+		list      = flag.Bool("list", false, "list the benchmark suite and exit")
+		disasm    = flag.Bool("disasm", false, "disassemble the (possibly converted) binary and exit")
+		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
+		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-5s %6s %9s %9s %9s\n", "name", "class", "sites", "hardFrac", "hoistFrac", "arrayKB")
+		for _, s := range bench.Suite() {
+			fmt.Printf("%-10s %-5s %6d %9.2f %9.2f %9d\n", s.Name, s.Class, s.Sites, s.HardFrac, s.HoistFrac, s.ArrayKB)
+		}
+		return
+	}
+
+	var prog *program.Program
+	if *asmFile != "" {
+		text, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = program.Assemble(*asmFile, string(text))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec, err := bench.Find(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		prog = bench.Build(spec)
+	}
+	if *ifconv {
+		prof := ifconvert.ProfileProgram(prog, *profile)
+		res, err := ifconvert.Convert(prog, ifconvert.DefaultOptions(prof))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# if-converted %d regions (%d branches removed, %d region branches)\n",
+			len(res.Converted), res.Removed, res.RegionBrs)
+		prog = res.Prog
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	cfg := config.Default()
+	switch *scheme {
+	case "conventional":
+		cfg = cfg.WithScheme(config.SchemeConventional)
+	case "predpred":
+		cfg = cfg.WithScheme(config.SchemePredicate)
+	case "peppa":
+		cfg = cfg.WithScheme(config.SchemePEPPA)
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if *ideal {
+		cfg.IdealNoAlias, cfg.IdealPerfectGHR = true, true
+	}
+	if *selectPr {
+		cfg.Predication = config.PredicationSelect
+	}
+
+	pl, err := pipeline.New(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pl.Run(*commits); err != nil {
+		fatal(err)
+	}
+	report(prog, pl)
+}
+
+func report(p *program.Program, pl *pipeline.Pipeline) {
+	st := pl.Stats
+	sum := p.Summarize()
+	fmt.Printf("program: %s (%d instructions, %d static cond branches, %d compares, %d predicated)\n",
+		p.Name, sum.Total, sum.CondBr, sum.Compares, sum.Predicated)
+	fmt.Printf("cycles: %d  committed: %d  IPC: %.3f\n", st.Cycles, st.Committed, st.IPC())
+	fmt.Printf("cond branches: %d  mispredicts: %d  rate: %.2f%%  accuracy: %.2f%%\n",
+		st.CondBranches, st.BranchMispred, 100*st.MispredictRate(), 100*st.Accuracy())
+	fmt.Printf("early-resolved: %d (%.1f%% of branches)\n",
+		st.EarlyResolved, 100*float64(st.EarlyResolved)/float64(max(st.CondBranches, 1)))
+	fmt.Printf("flushes: %d exec, %d predicate-consumer, %d override\n",
+		st.ExecFlushes, st.PredFlushes, st.OverrideFlushes)
+	if st.PredPredictions > 0 {
+		fmt.Printf("predicate predictions: %d  wrong: %d (%.2f%%)\n",
+			st.PredPredictions, st.PredMispredicts,
+			100*float64(st.PredMispredicts)/float64(st.PredPredictions))
+	}
+	fmt.Printf("predication: %d cancelled, %d unguarded, %d select µops\n",
+		st.Cancelled, st.Unguarded, st.SelectOps)
+	if st.ShadowCondBranches > 0 {
+		fmt.Printf("shadow conventional predictor: %.2f%% mispredict rate\n", 100*st.ShadowMispredictRate())
+	}
+	h := pl.Hierarchy()
+	fmt.Printf("caches: L1I %.2f%%  L1D %.2f%%  L2 %.2f%% miss; %d load forwards\n",
+		100*h.L1I.MissRate(), 100*h.L1D.MissRate(), 100*h.L2.MissRate(), st.LoadForwards)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predsim:", err)
+	os.Exit(1)
+}

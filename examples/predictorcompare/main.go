@@ -1,0 +1,64 @@
+// Predictor head-to-head: runs one benchmark (default twolf, the
+// paper's hardest case) under all three second-level schemes on both
+// binary sets, printing the full statistics table — a one-benchmark
+// slice through Figures 5 and 6a.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/ifconvert"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+)
+
+func main() {
+	name := flag.String("bench", "twolf", "benchmark to race the predictors on")
+	commits := flag.Uint64("n", 200000, "committed instructions per run")
+	flag.Parse()
+
+	spec, err := bench.Find(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := bench.Build(spec)
+	prof := ifconvert.ProfileProgram(plain, 200000)
+	res, err := ifconvert.Convert(plain, ifconvert.DefaultOptions(prof))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schemes := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	for _, binary := range []struct {
+		label string
+		prog  *program.Program
+	}{
+		{"non-if-converted binary (Figure 5 conditions)", plain},
+		{fmt.Sprintf("if-converted binary, %d regions (Figure 6a conditions)", len(res.Converted)), res.Prog},
+	} {
+		fmt.Printf("\n=== %s: %s ===\n", spec.Name, binary.label)
+		fmt.Printf("%-14s %10s %8s %8s %10s %10s %10s\n",
+			"scheme", "mispredict", "IPC", "early", "cancelled", "selectops", "flushes")
+		for _, s := range schemes {
+			pl, err := pipeline.New(config.Default().WithScheme(s), binary.prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pl.Run(*commits); err != nil {
+				log.Fatal(err)
+			}
+			st := pl.Stats
+			fmt.Printf("%-14v %9.2f%% %8.2f %8d %10d %10d %10d\n",
+				s, 100*st.MispredictRate(), st.IPC(), st.EarlyResolved,
+				st.Cancelled, st.SelectOps,
+				st.ExecFlushes+st.PredFlushes+st.OverrideFlushes)
+		}
+	}
+	fmt.Println("\nThe predicate predictor uses the same 148 KB budget as the conventional")
+	fmt.Println("second level — the accuracy and IPC differences come from early-resolved")
+	fmt.Println("branches, retained correlation, and selective predication (§3).")
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/emulator"
+	"repro/internal/ifconvert"
+	"repro/internal/program"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 22 {
+		t.Fatalf("suite has %d benchmarks, want 22", len(suite))
+	}
+	ints, fps := 0, 0
+	names := map[string]bool{}
+	for _, s := range suite {
+		if names[s.Name] {
+			t.Errorf("duplicate benchmark %q", s.Name)
+		}
+		names[s.Name] = true
+		switch s.Class {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		default:
+			t.Errorf("%s: bad class %q", s.Name, s.Class)
+		}
+	}
+	if ints != 11 || fps != 11 {
+		t.Errorf("int/fp split = %d/%d, want 11/11", ints, fps)
+	}
+}
+
+func TestFind(t *testing.T) {
+	s, err := Find("twolf")
+	if err != nil || s.Name != "twolf" {
+		t.Fatalf("Find(twolf) = %+v, %v", s, err)
+	}
+	if _, err := Find("nonesuch"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, _ := Find("gcc")
+	p1 := Build(s)
+	p2 := Build(s)
+	if p1.Len() != p2.Len() {
+		t.Fatalf("nondeterministic build: %d vs %d", p1.Len(), p2.Len())
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d differs: %s vs %s", i, p1.At(i), p2.At(i))
+		}
+	}
+}
+
+func TestAllBenchmarksValidAndRun(t *testing.T) {
+	for _, s := range Suite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p := Build(s)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			em := emulator.New(p)
+			n := em.Run(50000)
+			if n < 50000 {
+				t.Fatalf("program halted after %d steps; must run past the commit budget", n)
+			}
+			// A benchmark must actually exercise branches.
+			st := p.Summarize()
+			if st.CondBr < 5 {
+				t.Errorf("only %d static conditional branches", st.CondBr)
+			}
+			if st.Compares < 5 {
+				t.Errorf("only %d static compares", st.Compares)
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksIfConvertible(t *testing.T) {
+	for _, s := range Suite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p := Build(s)
+			prof := ifconvert.ProfileProgram(p, 150000)
+			res, err := ifconvert.Convert(p, ifconvert.DefaultOptions(prof))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Converted) == 0 {
+				t.Errorf("no regions converted (profile found %d branches)", len(prof))
+			}
+			// The converted binary must still be a valid infinite loop.
+			em := emulator.New(res.Prog)
+			if n := em.Run(20000); n < 20000 {
+				t.Fatalf("converted program halted after %d steps", n)
+			}
+		})
+	}
+}
+
+func TestConversionReducesBranches(t *testing.T) {
+	s, _ := Find("vpr")
+	p := Build(s)
+	prof := ifconvert.ProfileProgram(p, 150000)
+	res, err := ifconvert.Convert(p, ifconvert.DefaultOptions(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Summarize()
+	after := res.Prog.Summarize()
+	if after.CondBr >= before.CondBr {
+		t.Errorf("cond branches %d -> %d, expected a reduction", before.CondBr, after.CondBr)
+	}
+	if after.Predicated <= before.Predicated {
+		t.Errorf("predicated %d -> %d, expected an increase", before.Predicated, after.Predicated)
+	}
+}
+
+func TestExitRegionsPresent(t *testing.T) {
+	// At least one benchmark must exercise the Exit hammock form, which
+	// creates region branches (Figure 1 of the paper).
+	total := 0
+	for _, s := range Suite() {
+		p := Build(s)
+		cfg := program.BuildCFG(p)
+		for _, h := range cfg.FindHammocks(12) {
+			if h.Kind == program.Exit {
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("no exit-pattern hammocks in the whole suite")
+	}
+}
+
+func TestClassCharacter(t *testing.T) {
+	// FP benchmarks should carry real FP work; integer ones mostly not.
+	for _, s := range Suite() {
+		p := Build(s)
+		st := p.Summarize()
+		if s.Class == "fp" && st.FP < 5 {
+			t.Errorf("%s: fp benchmark with only %d fp instructions", s.Name, st.FP)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package cache implements the timing-only memory hierarchy of Table 1:
+// set-associative L1I/L1D, a unified L2, main memory, TLBs, MSHRs and
+// write buffers. The hierarchy is timing-only — data values live in the
+// emulator memory — so Access returns the latency in cycles for a given
+// address at a given cycle, accounting for outstanding misses.
+package cache
+
+import "repro/internal/config"
+
+// Cache is one level of a timing-only set-associative cache with LRU
+// replacement, optional MSHRs (miss merging) and a write buffer.
+type Cache struct {
+	params  config.CacheParams
+	sets    []set
+	next    Level // next level, or nil (then missLat applies)
+	missLat int   // latency of the level below when next == nil
+
+	// MSHRs: block address -> cycle at which the miss resolves.
+	mshrs map[uint64]uint64
+	// Write buffer occupancy: cycle at which each entry drains.
+	writeBuf []uint64
+
+	Stats Stats
+}
+
+// Level is the interface the cache uses to consult the level below.
+type Level interface {
+	// Access returns the number of cycles to satisfy an access to addr
+	// issued at the given cycle. isWrite distinguishes stores.
+	Access(addr uint64, cycle uint64, isWrite bool) int
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	MSHRMerges uint64
+	WBStalls   uint64
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+type set struct {
+	ways []way
+}
+
+// New builds a cache level. next may be nil, in which case missLat is
+// charged for every miss (used for main memory behind the L2).
+func New(p config.CacheParams, next Level, missLat int) *Cache {
+	c := &Cache{params: p, next: next, missLat: missLat, mshrs: make(map[uint64]uint64)}
+	c.sets = make([]set, p.Sets())
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, p.Ways)
+	}
+	if p.WriteBuf > 0 {
+		c.writeBuf = make([]uint64, p.WriteBuf)
+	}
+	return c
+}
+
+func (c *Cache) blockAddr(addr uint64) uint64 {
+	return addr / uint64(c.params.BlockBytes)
+}
+
+func (c *Cache) lookup(block uint64) (si int, wi int, hit bool) {
+	si = int(block % uint64(len(c.sets)))
+	tag := block / uint64(len(c.sets))
+	s := &c.sets[si]
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].tag == tag {
+			return si, i, true
+		}
+	}
+	return si, -1, false
+}
+
+func (c *Cache) fill(si int, block uint64, cycle uint64) {
+	tag := block / uint64(len(c.sets))
+	s := &c.sets[si]
+	victim := 0
+	for i := range s.ways {
+		if !s.ways[i].valid {
+			victim = i
+			break
+		}
+		if s.ways[i].lru < s.ways[victim].lru {
+			victim = i
+		}
+	}
+	s.ways[victim] = way{tag: tag, valid: true, lru: cycle}
+}
+
+// Access models one access and returns its latency in cycles.
+func (c *Cache) Access(addr uint64, cycle uint64, isWrite bool) int {
+	c.Stats.Accesses++
+	block := c.blockAddr(addr)
+	si, wi, hit := c.lookup(block)
+	if hit {
+		c.sets[si].ways[wi].lru = cycle
+		// The block may still be in flight (fill registered at miss
+		// time): an access before the miss resolves merges with it.
+		if done, ok := c.mshrs[block]; ok && done > cycle {
+			c.Stats.MSHRMerges++
+			return int(done - cycle)
+		}
+		lat := c.params.LatCycles
+		if isWrite {
+			lat += c.writeBufferDelay(cycle)
+		}
+		return lat
+	}
+
+	c.Stats.Misses++
+	// MSHR full: stall until the earliest outstanding miss resolves.
+	stall := 0
+	if c.params.MSHRs > 0 {
+		c.expireMSHRs(cycle)
+		if len(c.mshrs) >= c.params.MSHRs {
+			earliest := ^uint64(0)
+			for _, done := range c.mshrs {
+				if done < earliest {
+					earliest = done
+				}
+			}
+			if earliest > cycle {
+				stall = int(earliest - cycle)
+			}
+			c.expireMSHRs(cycle + uint64(stall))
+		}
+	}
+
+	below := c.missLat
+	if c.next != nil {
+		below = c.next.Access(addr, cycle+uint64(stall)+uint64(c.params.LatCycles), isWrite)
+	}
+	lat := stall + c.params.LatCycles + below
+	if isWrite {
+		lat += c.writeBufferDelay(cycle)
+	}
+	c.fill(si, block, cycle)
+	if c.params.MSHRs > 0 {
+		c.mshrs[block] = cycle + uint64(lat)
+	}
+	return lat
+}
+
+func (c *Cache) expireMSHRs(cycle uint64) {
+	for b, done := range c.mshrs {
+		if done <= cycle {
+			delete(c.mshrs, b)
+		}
+	}
+}
+
+// writeBufferDelay models write-buffer occupancy: a store allocates the
+// earliest-draining entry; if all entries are still draining, the store
+// stalls until one frees.
+func (c *Cache) writeBufferDelay(cycle uint64) int {
+	if len(c.writeBuf) == 0 {
+		return 0
+	}
+	best := 0
+	for i := range c.writeBuf {
+		if c.writeBuf[i] < c.writeBuf[best] {
+			best = i
+		}
+	}
+	delay := 0
+	if c.writeBuf[best] > cycle {
+		delay = int(c.writeBuf[best] - cycle)
+		c.Stats.WBStalls++
+	}
+	// The entry drains to the next level after a fixed drain time.
+	c.writeBuf[best] = cycle + uint64(delay) + uint64(c.params.LatCycles*4)
+	return delay
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Stats.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Stats.Misses) / float64(c.Stats.Accesses)
+}
+
+// TLB is a timing-only fully-associative TLB with LRU replacement over
+// 4 KB pages.
+type TLB struct {
+	entries  map[uint64]uint64 // page -> last-use cycle
+	size     int
+	penalty  int
+	Misses   uint64
+	Accesses uint64
+}
+
+// NewTLB builds a TLB with the given number of entries and miss penalty.
+func NewTLB(size, penalty int) *TLB {
+	return &TLB{entries: make(map[uint64]uint64, size), size: size, penalty: penalty}
+}
+
+// Access returns the extra cycles charged for translating addr.
+func (t *TLB) Access(addr uint64, cycle uint64) int {
+	t.Accesses++
+	page := addr >> 12
+	if _, ok := t.entries[page]; ok {
+		t.entries[page] = cycle
+		return 0
+	}
+	t.Misses++
+	if len(t.entries) >= t.size {
+		var lruPage uint64
+		lru := ^uint64(0)
+		for p, c := range t.entries {
+			if c < lru {
+				lru, lruPage = c, p
+			}
+		}
+		delete(t.entries, lruPage)
+	}
+	t.entries[page] = cycle
+	return t.penalty
+}
+
+// Hierarchy bundles the Table 1 memory system.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	ITLB *TLB
+	DTLB *TLB
+}
+
+// NewHierarchy builds the full Table 1 memory system.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	l2 := New(cfg.L2, nil, cfg.MemLat)
+	return &Hierarchy{
+		L1I:  New(cfg.L1I, l2, 0),
+		L1D:  New(cfg.L1D, l2, 0),
+		L2:   l2,
+		ITLB: NewTLB(cfg.ITLBSize, cfg.TLBMissPenalty),
+		DTLB: NewTLB(cfg.DTLBSize, cfg.TLBMissPenalty),
+	}
+}
+
+// InstAccess returns the fetch latency for an instruction address.
+func (h *Hierarchy) InstAccess(addr uint64, cycle uint64) int {
+	return h.ITLB.Access(addr, cycle) + h.L1I.Access(addr, cycle, false)
+}
+
+// DataAccess returns the latency for a data access.
+func (h *Hierarchy) DataAccess(addr uint64, cycle uint64, isWrite bool) int {
+	return h.DTLB.Access(addr, cycle) + h.L1D.Access(addr, cycle, isWrite)
+}

@@ -1,0 +1,183 @@
+package core
+
+import "testing"
+
+func TestDefaultConfigSize(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.SizeBytes() > 148*1024 {
+		t.Errorf("PVT size %d exceeds the 148 KB budget of Table 1", p.SizeBytes())
+	}
+	if p.Rows() != 148*1024/41 {
+		t.Errorf("rows = %d, want %d", p.Rows(), 148*1024/41)
+	}
+	if p.GHRBits() != 30 {
+		t.Errorf("GHR bits = %d, want 30", p.GHRBits())
+	}
+}
+
+func TestTwoHashesDistinct(t *testing.T) {
+	p := New(DefaultConfig())
+	lk := p.Predict(0x1234, 0)
+	if lk.Row1 == lk.Row2 {
+		t.Error("the two hash functions must select different rows")
+	}
+}
+
+func TestLearnsComplementaryPredicates(t *testing.T) {
+	// A cmp.unc writes p1 = cond and p2 = !cond. The two rows must
+	// learn opposite values for a biased condition.
+	p := New(DefaultConfig())
+	pc := uint64(0x40)
+	var ghr uint64
+	for i := 0; i < 64; i++ {
+		lk := p.Predict(pc, ghr)
+		p.Train(lk, true, false)
+		ghr = ghr<<1 | 1
+	}
+	lk := p.Predict(pc, ghr)
+	if !lk.Val1 {
+		t.Error("first destination should be predicted true")
+	}
+	if lk.Val2 {
+		t.Error("second destination should be predicted false")
+	}
+}
+
+func TestConfidenceSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConfBits = 3
+	p := New(cfg)
+	pc := uint64(0x80)
+	lk := p.Predict(pc, 0)
+	if lk.Conf1 || lk.Conf2 {
+		t.Error("cold entries must not be confident")
+	}
+	p.Undo(lk)
+	// 7 correct predictions saturate a 3-bit counter.
+	for i := 0; i < 7; i++ {
+		lk = p.Predict(pc, 0)
+		p.Train(lk, lk.Val1, lk.Val2)
+	}
+	lk = p.Predict(pc, 0)
+	if !lk.Conf1 || !lk.Conf2 {
+		t.Error("entries must be confident after saturation")
+	}
+	// One misprediction zeroes confidence.
+	p.Train(lk, !lk.Val1, lk.Val2)
+	lk = p.Predict(pc, 0)
+	if lk.Conf1 {
+		t.Error("confidence must reset to zero on a misprediction")
+	}
+	if !lk.Conf2 {
+		t.Error("the second destination's confidence must be unaffected")
+	}
+}
+
+func TestLocalHistoryUndo(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x99)
+	lk1 := p.Predict(pc, 0)
+	p.Train(lk1, true, false)
+	before := p.lht.Get(pc)
+	lk2 := p.Predict(pc, 0) // speculative push
+	p.Undo(lk2)
+	if p.lht.Get(pc) != before {
+		t.Error("undo must restore the local history")
+	}
+}
+
+func TestTrainCorrectsLocalHistoryBit(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0xaa)
+	lk := p.Predict(pc, 0) // cold: predicts Val1 (deterministic)
+	p.Train(lk, !lk.Val1, lk.Val2)
+	got := p.lht.Get(pc) & 1
+	want := uint64(0)
+	if !lk.Val1 {
+		want = 1
+	}
+	if got != want {
+		t.Errorf("local history bit = %d after correction, want %d", got, want)
+	}
+}
+
+func TestGlobalCorrelationLearned(t *testing.T) {
+	// Condition equals GHR bit 2 — the predicate predictor must pick up
+	// global correlation just like a branch perceptron would.
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	var ghr uint64
+	correct := 0
+	for i := 0; i < 600; i++ {
+		cond := ghr>>2&1 == 1
+		lk := p.Predict(pc, ghr)
+		if i >= 400 {
+			if lk.Val1 == cond {
+				correct++
+			}
+		}
+		p.Train(lk, cond, !cond)
+		ghr = ghr<<1 | uint64(i&1)
+	}
+	if correct < 190 {
+		t.Errorf("global correlation accuracy = %d/200", correct)
+	}
+}
+
+func TestIdealModeNoAliasing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 41 * 2 // absurdly small: guaranteed aliasing if real
+	cfg.Ideal = true
+	p := New(cfg)
+	lkA := p.Predict(0x1000, 0)
+	lkB := p.Predict(0x2000, 0)
+	rows := map[int]bool{lkA.Row1: true, lkA.Row2: true, lkB.Row1: true, lkB.Row2: true}
+	if len(rows) != 4 {
+		t.Errorf("ideal mode must give 4 distinct rows, got %d", len(rows))
+	}
+	// Training must work on grown rows without panicking.
+	p.Train(lkB, true, false)
+}
+
+func TestLookupCarriesHistories(t *testing.T) {
+	p := New(DefaultConfig())
+	lk := p.Predict(0x777, 0x3f)
+	if lk.GHR != 0x3f {
+		t.Errorf("lookup GHR = %#x, want 0x3f", lk.GHR)
+	}
+	if lk.PC != 0x777 {
+		t.Errorf("lookup PC = %#x", lk.PC)
+	}
+}
+
+func TestSplitPVTDistinctHalves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SplitPVT = true
+	p := New(cfg)
+	half := p.Rows() / 2
+	for _, pc := range []uint64{0x10, 0x999, 0x123456} {
+		lk := p.Predict(pc, 0)
+		if lk.Row1 >= half {
+			t.Errorf("pc %#x: first destination row %d not in lower half", pc, lk.Row1)
+		}
+		if lk.Row2 < half {
+			t.Errorf("pc %#x: second destination row %d not in upper half", pc, lk.Row2)
+		}
+		p.Undo(lk)
+	}
+}
+
+func TestSplitPVTStillLearns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SplitPVT = true
+	p := New(cfg)
+	pc := uint64(0x500)
+	for i := 0; i < 64; i++ {
+		lk := p.Predict(pc, 0)
+		p.Train(lk, true, false)
+	}
+	lk := p.Predict(pc, 0)
+	if !lk.Val1 || lk.Val2 {
+		t.Errorf("split PVT failed to learn: %v %v", lk.Val1, lk.Val2)
+	}
+}

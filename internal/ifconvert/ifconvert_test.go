@@ -1,0 +1,284 @@
+package ifconvert
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emulator"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildDiamondLoop builds a loop whose body contains a data-dependent
+// diamond: if (a[i]&1) r5 = r5+1 else r5 = r5+2. The data array is
+// filled by the program itself from an LCG, so the branch is
+// hard to predict.
+func buildDiamondLoop() *program.Program {
+	b := program.NewBuilder("diamondloop")
+	const (
+		rBase isa.Reg = 1
+		rI    isa.Reg = 2
+		rN    isa.Reg = 3
+		rV    isa.Reg = 4
+		rAcc  isa.Reg = 5
+		rT    isa.Reg = 6
+		rSeed isa.Reg = 7
+	)
+	b.MovI(rBase, 0x10000).MovI(rN, 200).MovI(rI, 0).MovI(rSeed, 12345)
+	// Fill a[0..N) with LCG values.
+	b.Label("fill").
+		MulI(rSeed, rSeed, 1103515245).AddI(rSeed, rSeed, 12345).
+		ShlI(rT, rI, 3).Add(rT, rBase, rT).
+		Store(rT, 0, rSeed).
+		AddI(rI, rI, 1).
+		Cmp(isa.RelLT, isa.CmpUnc, 10, 11, rI, rN).
+		G(10).Br("fill")
+	// Loop with the diamond.
+	b.MovI(rI, 0).MovI(rAcc, 0)
+	b.Label("loop").
+		ShlI(rT, rI, 3).Add(rT, rBase, rT).
+		Load(rV, rT, 0).
+		AndI(rV, rV, 0x10000). // an unpredictable bit of the LCG value
+		CmpI(isa.RelNE, isa.CmpUnc, 12, 13, rV, 0).
+		G(12).Br("else").
+		AddI(rAcc, rAcc, 1). // then
+		Br("join").
+		Label("else").AddI(rAcc, rAcc, 2).
+		Label("join").
+		AddI(rI, rI, 1).
+		Cmp(isa.RelLT, isa.CmpUnc, 10, 11, rI, rN).
+		G(10).Br("loop").
+		Halt()
+	return b.Program()
+}
+
+func TestProfileFindsHardBranch(t *testing.T) {
+	p := buildDiamondLoop()
+	prof := ProfileProgram(p, 100000)
+	// Locate the diamond's branch: guarded by p12.
+	var hard *BranchProfile
+	for pc, bp := range prof {
+		if p.At(pc).QP == 12 {
+			hard = bp
+		}
+	}
+	if hard == nil {
+		t.Fatal("diamond branch not profiled")
+	}
+	if hard.Execs < 100 {
+		t.Fatalf("diamond branch execs = %d", hard.Execs)
+	}
+	if hard.MispredictRate() < 0.2 {
+		t.Errorf("LCG-driven branch should be hard to predict, rate = %v", hard.MispredictRate())
+	}
+	// The loop back-edges should be easy.
+	for pc, bp := range prof {
+		if p.At(pc).QP == 10 && bp.MispredictRate() > 0.1 {
+			t.Errorf("loop branch @%d mispredict rate = %v", pc, bp.MispredictRate())
+		}
+	}
+}
+
+func TestConvertDiamond(t *testing.T) {
+	p := buildDiamondLoop()
+	res, err := Convert(p, Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Converted) != 1 || res.Converted[0].Kind != program.Diamond {
+		t.Fatalf("converted = %+v", res.Converted)
+	}
+	if res.Removed != 1 {
+		t.Errorf("removed = %d, want 1", res.Removed)
+	}
+	// The converted program has two fewer instructions (br + br join).
+	if res.Prog.Len() != p.Len()-2 {
+		t.Errorf("length %d -> %d, want -2", p.Len(), res.Prog.Len())
+	}
+	sBefore := p.Summarize()
+	sAfter := res.Prog.Summarize()
+	if sAfter.CondBr != sBefore.CondBr-1 {
+		t.Errorf("conditional branches %d -> %d, want one fewer", sBefore.CondBr, sAfter.CondBr)
+	}
+	if sAfter.Predicated <= sBefore.Predicated {
+		t.Error("if-conversion must add predicated instructions")
+	}
+}
+
+func TestConvertedProgramEquivalent(t *testing.T) {
+	p := buildDiamondLoop()
+	res, err := Convert(p, Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := emulator.New(p)
+	e2 := emulator.New(res.Prog)
+	e1.Run(1_000_000)
+	e2.Run(1_000_000)
+	if !e1.Halted || !e2.Halted {
+		t.Fatal("programs did not halt")
+	}
+	if e1.State.GPR[5] != e2.State.GPR[5] {
+		t.Errorf("acc differs: original %d, converted %d", e1.State.GPR[5], e2.State.GPR[5])
+	}
+}
+
+func TestProfileGuidedSelection(t *testing.T) {
+	p := buildDiamondLoop()
+	prof := ProfileProgram(p, 100000)
+	// High threshold: the diamond qualifies (rate > 0.2).
+	res, err := Convert(p, DefaultOptions(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Converted) != 1 {
+		t.Fatalf("profile-guided conversion converted %d regions", len(res.Converted))
+	}
+	// Impossible threshold: nothing converts.
+	opts := DefaultOptions(prof)
+	opts.MispredictThreshold = 0.99
+	res, err = Convert(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Converted) != 0 {
+		t.Error("nothing should pass a 99% threshold")
+	}
+}
+
+func buildExitLoop() *program.Program {
+	// Search loop: break out when a[i] == 77.
+	b := program.NewBuilder("exitloop")
+	b.MovI(1, 0x20000).MovI(2, 0).MovI(3, 50)
+	// a[37] = 77
+	b.MovI(4, 77).MovI(5, 37*8).Add(5, 1, 5).Store(5, 0, 4)
+	b.Label("loop").
+		ShlI(6, 2, 3).Add(6, 1, 6).
+		Load(7, 6, 0).
+		CmpI(isa.RelNE, isa.CmpUnc, 12, 13, 7, 77).
+		G(12).Br("cont").
+		MovI(9, 1). // found flag
+		Br("out").
+		Label("cont").
+		AddI(2, 2, 1).
+		Cmp(isa.RelLT, isa.CmpUnc, 10, 11, 2, 3).
+		G(10).Br("loop").
+		Label("out").Halt()
+	return b.Program()
+}
+
+func TestConvertExitPattern(t *testing.T) {
+	p := buildExitLoop()
+	res, err := Convert(p, Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exit *program.Hammock
+	for i := range res.Converted {
+		if res.Converted[i].Kind == program.Exit {
+			exit = &res.Converted[i]
+		}
+	}
+	if exit == nil {
+		t.Fatalf("exit hammock not converted: %+v", res.Converted)
+	}
+	if res.RegionBrs != 1 {
+		t.Errorf("region branches = %d, want 1", res.RegionBrs)
+	}
+	// The previously-unconditional exit branch is now conditional.
+	found := false
+	for i := range res.Prog.Insts {
+		in := res.Prog.At(i)
+		if in.Op == isa.OpBr && in.IsConditional() && in.QP == 13 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a conditional region branch guarded by p13")
+	}
+	// Equivalence.
+	e1 := emulator.New(p)
+	e2 := emulator.New(res.Prog)
+	e1.Run(100000)
+	e2.Run(100000)
+	if e1.State.GPR[9] != e2.State.GPR[9] || e1.State.GPR[2] != e2.State.GPR[2] {
+		t.Errorf("exit conversion changed semantics: r9 %d vs %d, r2 %d vs %d",
+			e1.State.GPR[9], e2.State.GPR[9], e1.State.GPR[2], e2.State.GPR[2])
+	}
+}
+
+// TestRandomProgramsEquivalence generates random hammock-rich programs
+// and checks that if-conversion preserves architectural semantics.
+func TestRandomProgramsEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomHammockProgram(rng)
+		res, err := Convert(p, Options{MaxBlockLen: 10})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e1 := emulator.New(p)
+		e2 := emulator.New(res.Prog)
+		e1.Run(2_000_000)
+		e2.Run(2_000_000)
+		if !e1.Halted || !e2.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+		for r := isa.Reg(1); r < 32; r++ {
+			if e1.State.GPR[r] != e2.State.GPR[r] {
+				t.Errorf("seed %d: r%d = %d (orig) vs %d (converted); converted %d regions",
+					seed, r, e1.State.GPR[r], e2.State.GPR[r], len(res.Converted))
+				break
+			}
+		}
+	}
+}
+
+// randomHammockProgram emits a loop over i with a few random diamonds
+// and if-thens inside, operating on registers r20..r27 with conditions
+// drawn from an in-program LCG (r8).
+func randomHammockProgram(rng *rand.Rand) *program.Program {
+	b := program.NewBuilder("rand")
+	b.MovI(8, rng.Int63n(1<<30)+1) // LCG state
+	b.MovI(2, 0).MovI(3, int64(rng.Intn(100)+50))
+	for r := isa.Reg(20); r < 28; r++ {
+		b.MovI(r, rng.Int63n(100))
+	}
+	b.Label("loop")
+	step := func() { // advance LCG
+		b.MulI(8, 8, 6364136223846793005).AddI(8, 8, 1442695040888963407)
+	}
+	nRegions := rng.Intn(3) + 1
+	for k := 0; k < nRegions; k++ {
+		step()
+		bit := int64(1) << (16 + rng.Intn(8))
+		b.AndI(9, 8, bit)
+		pT := isa.PredReg(12 + 2*k)
+		pF := isa.PredReg(13 + 2*k)
+		dst := isa.Reg(20 + rng.Intn(8))
+		src := isa.Reg(20 + rng.Intn(8))
+		b.CmpI(isa.RelNE, isa.CmpUnc, pT, pF, 9, 0)
+		kind := rng.Intn(2)
+		lbl := func(s string) string { return s + string(rune('a'+k)) }
+		switch kind {
+		case 0: // if-then
+			b.G(pT).Br(lbl("skip"))
+			for j := 0; j < rng.Intn(3)+1; j++ {
+				b.AddI(dst, src, int64(j+1))
+			}
+			b.Label(lbl("skip"))
+		case 1: // diamond
+			b.G(pT).Br(lbl("else"))
+			b.AddI(dst, src, 3)
+			b.Br(lbl("join"))
+			b.Label(lbl("else"))
+			b.SubI(dst, src, 5)
+			b.Label(lbl("join"))
+		}
+	}
+	b.AddI(2, 2, 1)
+	b.Cmp(isa.RelLT, isa.CmpUnc, 10, 11, 2, 3)
+	b.G(10).Br("loop")
+	b.Halt()
+	return b.Program()
+}

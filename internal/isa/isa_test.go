@@ -1,0 +1,204 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelEval(t *testing.T) {
+	cases := []struct {
+		rel  Rel
+		a, b int64
+		want bool
+	}{
+		{RelEQ, 3, 3, true}, {RelEQ, 3, 4, false},
+		{RelNE, 3, 4, true}, {RelNE, 3, 3, false},
+		{RelLT, -1, 0, true}, {RelLT, 0, 0, false},
+		{RelLE, 0, 0, true}, {RelLE, 1, 0, false},
+		{RelGT, 1, 0, true}, {RelGT, 0, 0, false},
+		{RelGE, 0, 0, true}, {RelGE, -1, 0, false},
+		{RelLTU, -1, 0, false}, // -1 is max uint64
+		{RelLTU, 0, -1, true},
+		{RelGEU, -1, 0, true}, {RelGEU, 0, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.rel.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", c.rel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelEvalComplement(t *testing.T) {
+	// eq/ne, lt/ge, le/gt, ltu/geu are complements for all inputs.
+	pairs := [][2]Rel{{RelEQ, RelNE}, {RelLT, RelGE}, {RelLE, RelGT}, {RelLTU, RelGEU}}
+	f := func(a, b int64) bool {
+		for _, pr := range pairs {
+			if pr[0].Eval(a, b) == pr[1].Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelEvalFloat(t *testing.T) {
+	if !RelLT.EvalFloat(1.5, 2.5) {
+		t.Error("1.5 < 2.5 should hold")
+	}
+	if RelEQ.EvalFloat(1.0, 2.0) {
+		t.Error("1.0 == 2.0 should not hold")
+	}
+	if !RelGE.EvalFloat(2.0, 2.0) {
+		t.Error("2.0 >= 2.0 should hold")
+	}
+}
+
+func TestCmpTypeUnc(t *testing.T) {
+	// unc with true guard: p1=cond, p2=!cond.
+	out := CmpUnc.Apply(true, true)
+	if !out.Write1 || !out.Write2 || !out.Val1 || out.Val2 {
+		t.Errorf("unc qp=1 cond=1: got %+v", out)
+	}
+	out = CmpUnc.Apply(true, false)
+	if !out.Write1 || !out.Write2 || out.Val1 || !out.Val2 {
+		t.Errorf("unc qp=1 cond=0: got %+v", out)
+	}
+	// unc with false guard clears both.
+	out = CmpUnc.Apply(false, true)
+	if !out.Write1 || !out.Write2 || out.Val1 || out.Val2 {
+		t.Errorf("unc qp=0: got %+v", out)
+	}
+}
+
+func TestCmpTypeNorm(t *testing.T) {
+	out := CmpNorm.Apply(false, true)
+	if out.Write1 || out.Write2 {
+		t.Errorf("norm qp=0 must not write: got %+v", out)
+	}
+	out = CmpNorm.Apply(true, false)
+	if !out.Write1 || out.Val1 || !out.Val2 {
+		t.Errorf("norm qp=1 cond=0: got %+v", out)
+	}
+}
+
+func TestCmpTypeAndOr(t *testing.T) {
+	// and-type writes only when qp && !cond, clearing both.
+	if out := CmpAnd.Apply(true, false); !out.Write1 || out.Val1 || out.Val2 {
+		t.Errorf("and qp=1 cond=0: got %+v", out)
+	}
+	if out := CmpAnd.Apply(true, true); out.Write1 || out.Write2 {
+		t.Errorf("and qp=1 cond=1 must not write: got %+v", out)
+	}
+	if out := CmpAnd.Apply(false, false); out.Write1 {
+		t.Errorf("and qp=0 must not write: got %+v", out)
+	}
+	// or-type writes only when qp && cond, setting both.
+	if out := CmpOr.Apply(true, true); !out.Write1 || !out.Val1 || !out.Val2 {
+		t.Errorf("or qp=1 cond=1: got %+v", out)
+	}
+	if out := CmpOr.Apply(true, false); out.Write1 {
+		t.Errorf("or qp=1 cond=0 must not write: got %+v", out)
+	}
+}
+
+func TestCmpTypeComplementProperty(t *testing.T) {
+	// For unc and norm with a true guard, the two outputs are complements.
+	f := func(cond bool) bool {
+		for _, ct := range []CmpType{CmpUnc, CmpNorm} {
+			out := ct.Apply(true, cond)
+			if !out.Write1 || !out.Write2 || out.Val1 == out.Val2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstPredicates(t *testing.T) {
+	cmp := Inst{Op: OpCmp, P1: 1, P2: 2}
+	if !cmp.IsCompare() || cmp.IsBranch() || cmp.IsMem() {
+		t.Error("cmp classification wrong")
+	}
+	br := Inst{Op: OpBr, QP: 3}
+	if !br.IsBranch() || !br.IsConditional() || !br.IsDirect() {
+		t.Error("guarded br classification wrong")
+	}
+	ubr := Inst{Op: OpBr, QP: P0}
+	if ubr.IsConditional() {
+		t.Error("p0-guarded br must be unconditional")
+	}
+	ret := Inst{Op: OpRet, Rs1: 9}
+	if !ret.IsBranch() || ret.IsDirect() {
+		t.Error("ret classification wrong")
+	}
+	ld := Inst{Op: OpLoad, Rd: 4, Rs1: 5}
+	if !ld.IsMem() || !ld.IsLoad() || ld.IsStore() {
+		t.Error("load classification wrong")
+	}
+	st := Inst{Op: OpStore, Rs1: 5, Rs2: 6}
+	if !st.IsMem() || !st.IsStore() || st.IsLoad() {
+		t.Error("store classification wrong")
+	}
+	fa := Inst{Op: OpFAdd, Rd: 1, Rs1: 2, Rs2: 3}
+	if !fa.IsFP() || !fa.WritesFPR() || fa.WritesGPR() {
+		t.Error("fadd classification wrong")
+	}
+}
+
+func TestWritesGPRZeroDest(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: R0, Rs1: 1, Rs2: 2}
+	if in.WritesGPR() {
+		t.Error("writes to r0 must be discarded")
+	}
+}
+
+func TestSources(t *testing.T) {
+	st := Inst{Op: OpStore, Rs1: 5, Rs2: 6}
+	src := st.GPRSources()
+	if len(src) != 2 || src[0] != 5 || src[1] != 6 {
+		t.Errorf("store sources = %v", src)
+	}
+	fst := Inst{Op: OpFStore, Rs1: 5, Rs2: 7}
+	if g := fst.GPRSources(); len(g) != 1 || g[0] != 5 {
+		t.Errorf("fstore gpr sources = %v", g)
+	}
+	if f := fst.FPRSources(); len(f) != 1 || f[0] != 7 {
+		t.Errorf("fstore fpr sources = %v", f)
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		in := Inst{Op: op}
+		if in.Latency() < 1 {
+			t.Errorf("op %v latency %d < 1", op, in.Latency())
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	in := Inst{Op: OpCmp, Rel: RelLT, CType: CmpUnc, P1: 1, P2: 2, Rs1: 4, Rs2: 5, QP: 3}
+	s := in.String()
+	for _, want := range []string{"(p3)", "cmp.lt.unc", "p1,p2", "r4,r5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	br := Inst{Op: OpBr, Label: "loop"}
+	if !strings.Contains(br.String(), "loop") {
+		t.Errorf("br String() = %q", br.String())
+	}
+	// Every op has a name.
+	for op := OpNop; op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// commit retires up to CommitWidth completed uops in order: stores write
+// architectural memory, predictors train on the resolved outcomes, and
+// statistics are collected (committed path only, so wrong-path activity
+// never pollutes the accuracy numbers).
+func (pl *Pipeline) commit() {
+	for n := 0; n < pl.cfg.CommitWidth && len(pl.rob) > 0; n++ {
+		u := pl.rob[0]
+		if !u.done {
+			return
+		}
+		if pl.CoSim != nil {
+			if err := pl.cosimCheck(u); err != nil {
+				pl.CoSimErr = err
+				return
+			}
+		}
+
+		// Architectural memory update.
+		if u.in.IsStore() && !u.canceled && u.qpVal {
+			if u.in.Op == isa.OpFStore {
+				pl.mem.Write64(u.memAddr, math.Float64bits(u.stDataF))
+			} else {
+				pl.mem.Write64(u.memAddr, uint64(u.stData))
+			}
+			pl.hier.DataAccess(u.memAddr, pl.cycle, true)
+		}
+
+		pl.trainPredictors(u)
+		pl.retireRename(u)
+		pl.retireStats(u)
+
+		pl.rob = pl.rob[1:]
+		pl.Stats.Committed++
+		if u.in.Op == isa.OpHalt {
+			pl.halted = true
+			pl.Stats.HaltSeen = true
+			return
+		}
+	}
+}
+
+// trainPredictors updates every predictor with the committed outcome.
+func (pl *Pipeline) trainPredictors(u *uop) {
+	in := u.in
+	if u.isCondBr {
+		addr := instAddr(u.pc)
+		pl.gshare.Update(addr, u.gshareGHR, u.actualTaken)
+		switch pl.cfg.Scheme {
+		case config.SchemeConventional:
+			if u.brLkValid {
+				pl.twolevel.Train(u.brLk, u.actualTaken)
+			}
+			pl.retiredPGHR.Push(u.actualTaken)
+		case config.SchemePEPPA:
+			if u.pepLkValid {
+				pl.pep.Update(u.pepLk, u.actualTaken)
+			}
+		case config.SchemePredicate:
+			// Shadow conventional predictor: scores what the Table 1
+			// baseline would have done, for the Figure 6b breakdown.
+			lk := pl.shadow.Predict(addr, pl.shadowGHR.Snapshot())
+			pl.Stats.ShadowCondBranches++
+			if lk.Taken != u.actualTaken {
+				pl.Stats.ShadowMispred++
+				if u.early && !u.refetched {
+					pl.Stats.EarlyResolvedHit++
+				}
+			}
+			pl.shadow.Train(lk, u.actualTaken)
+			pl.shadowGHR.Push(u.actualTaken)
+		}
+	}
+	if in.IsCompare() && pl.cfg.Scheme == config.SchemePredicate {
+		if u.cmpLkValid && !(u.canceled && !u.uncFalse) {
+			pl.pp.Train(u.cmpLk, u.resP[0], u.resP[1])
+			pl.Stats.PredPredictions += 2
+			if u.cmpLk.Val1 != u.resP[0] {
+				pl.Stats.PredMispredicts++
+			}
+			if u.cmpLk.Val2 != u.resP[1] {
+				pl.Stats.PredMispredicts++
+			}
+			pl.retiredPGHR.Push(u.resP[0])
+		}
+	}
+	if in.Op == isa.OpBrInd {
+		pl.itab.Update(instAddr(u.pc), u.actualTgt)
+	}
+}
+
+// retireRename frees the previous physical mappings now that the new
+// ones are architectural.
+func (pl *Pipeline) retireRename(u *uop) {
+	switch u.dKind {
+	case destInt:
+		pl.freeI = append(pl.freeI, u.oldPhys)
+	case destFP:
+		pl.freeF = append(pl.freeF, u.oldPhys)
+	}
+	for i := 0; i < 2; i++ {
+		if u.pDests[i].valid {
+			pl.freeP = append(pl.freeP, u.pDests[i].oldP)
+		}
+	}
+	if u.in.IsLoad() && !u.canceled {
+		pl.ldQ--
+	}
+	if u.in.IsStore() && !u.canceled {
+		pl.stQ--
+	}
+}
+
+// retireStats collects committed-path statistics.
+func (pl *Pipeline) retireStats(u *uop) {
+	if u.isCondBr {
+		pl.Stats.CondBranches++
+		if u.predTaken != u.actualTaken {
+			pl.Stats.BranchMispred++
+		}
+		if u.early && !u.refetched {
+			pl.Stats.EarlyResolved++
+		}
+		if pl.DebugPerPC != nil {
+			st := pl.DebugPerPC[u.pc]
+			if st == nil {
+				st = &PCStat{}
+				pl.DebugPerPC[u.pc] = st
+			}
+			st.Execs++
+			if u.predTaken != u.actualTaken {
+				st.Mispred++
+			}
+			if u.early && !u.refetched {
+				st.Early++
+			}
+			if u.actualTaken {
+				st.Taken++
+			}
+		}
+	}
+	if u.in.IsBranch() && !u.in.IsDirect() {
+		predNext := u.pc + 1
+		if u.predTaken {
+			predNext = u.predTarget
+		}
+		actualNext := u.pc + 1
+		if u.actualTaken {
+			actualNext = u.actualTgt
+		}
+		if predNext != actualNext {
+			pl.Stats.TargetMispred++
+		}
+	}
+	if u.in.IsCompare() {
+		pl.Stats.Compares++
+	}
+	switch {
+	case u.canceled:
+		pl.Stats.Cancelled++
+	case u.unguarded:
+		pl.Stats.Unguarded++
+	case u.selectOp:
+		pl.Stats.SelectOps++
+	}
+}
+
+// cosimCheck steps the functional oracle and compares committed
+// architectural effects against it.
+func (pl *Pipeline) cosimCheck(u *uop) error {
+	em := pl.CoSim
+	if em.Halted {
+		return fmt.Errorf("cosim: pipeline commits @%d after oracle halted", u.pc)
+	}
+	if em.State.PC != u.pc {
+		return fmt.Errorf("cosim: commit pc=%d but oracle pc=%d (seq %d, %s)", u.pc, em.State.PC, u.seq, u.in)
+	}
+	em.Step()
+	in := u.in
+	if !u.canceled || u.uncFalse {
+		switch u.dKind {
+		case destInt:
+			if got, want := pl.physI[u.newPhys].val, em.State.ReadGPR(in.Rd); got != want {
+				return fmt.Errorf("cosim: @%d %s: r%d = %d, oracle %d", u.pc, in, in.Rd, got, want)
+			}
+		case destFP:
+			got, want := pl.physF[u.newPhys].val, em.State.FPR[in.Rd]
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("cosim: @%d %s: f%d = %v, oracle %v", u.pc, in, in.Rd, got, want)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			d := u.pDests[i]
+			if !d.valid {
+				continue
+			}
+			if got, want := pl.pprf[d.newP].val, em.State.ReadPred(d.arch); got != want {
+				return fmt.Errorf("cosim: @%d %s: p%d = %v, oracle %v", u.pc, in, d.arch, got, want)
+			}
+		}
+	}
+	if in.IsStore() && !u.canceled && u.qpVal {
+		var bits uint64
+		if in.Op == isa.OpFStore {
+			bits = math.Float64bits(u.stDataF)
+		} else {
+			bits = uint64(u.stData)
+		}
+		if want := em.State.Mem.Read64(u.memAddr); want != bits {
+			return fmt.Errorf("cosim: @%d %s: stores %#x at %#x, oracle %#x", u.pc, in, bits, u.memAddr, want)
+		}
+	}
+	if in.IsBranch() {
+		nextPC := u.pc + 1
+		if u.actualTaken {
+			nextPC = u.actualTgt
+		}
+		if em.State.PC != nextPC {
+			return fmt.Errorf("cosim: @%d %s: next pc %d, oracle %d", u.pc, in, nextPC, em.State.PC)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package pipeline
+
+import (
+	"math"
+
+	"repro/internal/emulator"
+	"repro/internal/isa"
+)
+
+// issue selects ready uops oldest-first, up to the function-unit counts,
+// computes their results functionally, and schedules their completion.
+func (pl *Pipeline) issue() {
+	intFU, fpFU, memFU, brFU := pl.cfg.IntALUs, pl.cfg.FPALUs, pl.cfg.MemPorts, pl.cfg.BrUnits
+	for _, u := range pl.rob {
+		if u.issued || u.done || u.class == classNone {
+			continue
+		}
+		switch u.class {
+		case classInt:
+			if intFU == 0 {
+				continue
+			}
+		case classFP:
+			if fpFU == 0 {
+				continue
+			}
+		case classMem:
+			if memFU == 0 {
+				continue
+			}
+		case classBr:
+			if brFU == 0 {
+				continue
+			}
+		}
+		if !pl.ready(u) {
+			continue
+		}
+		if u.in.IsLoad() && !pl.loadMayIssue(u) {
+			continue
+		}
+		pl.execute(u)
+		u.issued = true
+		pl.releaseIQ(u)
+		switch u.class {
+		case classInt:
+			intFU--
+		case classFP:
+			fpFU--
+		case classMem:
+			memFU--
+		case classBr:
+			brFU--
+		}
+	}
+}
+
+// ready reports whether all of a uop's physical sources are available.
+func (pl *Pipeline) ready(u *uop) bool {
+	for _, p := range u.srcI {
+		if !pl.physI[p].ready {
+			return false
+		}
+	}
+	for _, p := range u.srcF {
+		if !pl.physF[p].ready {
+			return false
+		}
+	}
+	for _, p := range u.srcP {
+		if !pl.pprf[p].computed {
+			return false
+		}
+	}
+	return true
+}
+
+// loadMayIssue enforces conservative memory disambiguation: a load
+// issues only after every older store has issued (addresses and guard
+// values known) and no older effective store overlaps the load's
+// address with a different base (exact matches forward).
+func (pl *Pipeline) loadMayIssue(u *uop) bool {
+	addr := pl.effAddr(u)
+	for _, s := range pl.rob {
+		if s.seq >= u.seq {
+			break
+		}
+		if !s.in.IsStore() || s.canceled {
+			continue
+		}
+		if !s.issued {
+			return false
+		}
+		if !s.qpVal {
+			continue // nullified store writes nothing
+		}
+		if s.memAddr == addr {
+			continue // exact match: forwarded at execute
+		}
+		if overlaps(s.memAddr, addr) {
+			return false // partial overlap: wait until the store commits
+		}
+	}
+	return true
+}
+
+func overlaps(a, b uint64) bool {
+	return a < b+8 && b < a+8
+}
+
+// effAddr computes a memory uop's effective address from its (ready)
+// base register.
+func (pl *Pipeline) effAddr(u *uop) uint64 {
+	base := pl.physI[pl.addrPhys(u)].val
+	return uint64(base + u.in.Imm)
+}
+
+// addrPhys returns the physical register holding the address base
+// (always the first integer source of a memory uop).
+func (pl *Pipeline) addrPhys(u *uop) int { return u.srcI[0] }
+
+// qpValue resolves the guard value at execute time.
+func (pl *Pipeline) qpValue(u *uop) bool {
+	switch {
+	case u.unguarded:
+		return true
+	case u.qpPhys < 0:
+		return true
+	default:
+		return pl.pprf[u.qpPhys].val
+	}
+}
+
+// execute computes a uop's result and schedules its completion cycle.
+// Values mirror emulator semantics exactly (shared helpers), keeping
+// the pipeline value-accurate for co-simulation.
+func (pl *Pipeline) execute(u *uop) {
+	in := u.in
+	lat := in.Latency()
+	u.qpVal = pl.qpValue(u)
+
+	switch {
+	case in.IsCompare():
+		pl.execCompare(u)
+	case in.IsBranch():
+		pl.execBranch(u)
+	case in.IsLoad():
+		lat += pl.execLoad(u)
+	case in.IsStore():
+		pl.execStore(u)
+	default:
+		pl.execALU(u)
+	}
+	u.doneCycle = pl.cycle + uint64(lat)
+}
+
+func (pl *Pipeline) execALU(u *uop) {
+	in := u.in
+	if u.selectOp && !u.qpVal {
+		// Nullified select micro-op: result is the previous value.
+		if u.dKind == destFP {
+			u.resF = pl.physF[u.oldPhys].val
+		} else if u.dKind == destInt {
+			u.resI = pl.physI[u.oldPhys].val
+		}
+		return
+	}
+	a := func(i int) int64 { return pl.physI[u.srcI[i]].val }
+	af := func(i int) float64 { return pl.physF[u.srcF[i]].val }
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr:
+		u.resI = emulator.ExecALU(in.Op, a(0), a(1))
+	case isa.OpAddI, isa.OpSubI, isa.OpMulI, isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI:
+		u.resI = emulator.ExecImmALU(in.Op, a(0), in.Imm)
+	case isa.OpMov:
+		u.resI = a(0)
+	case isa.OpMovI:
+		u.resI = in.Imm
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		u.resF = emulator.ExecFPALU(in.Op, af(0), af(1))
+	case isa.OpFMov:
+		u.resF = af(0)
+	case isa.OpFMovI:
+		u.resF = math.Float64frombits(uint64(in.Imm))
+	case isa.OpFCvtIF:
+		u.resF = float64(a(0))
+	case isa.OpFCvtFI:
+		u.resI = int64(af(0))
+	}
+}
+
+func (pl *Pipeline) execCompare(u *uop) {
+	in := u.in
+	var out isa.PredicateOutcome
+	if u.uncFalse {
+		// Cancelled unc compare: both destinations cleared.
+		out = isa.PredicateOutcome{Write1: true, Write2: true}
+	} else {
+		var cond bool
+		switch in.Op {
+		case isa.OpCmp:
+			cond = in.Rel.Eval(pl.physI[u.srcI[0]].val, pl.physI[u.srcI[1]].val)
+		case isa.OpCmpI:
+			cond = in.Rel.Eval(pl.physI[u.srcI[0]].val, in.Imm)
+		case isa.OpFCmp:
+			cond = in.Rel.EvalFloat(pl.physF[u.srcF[0]].val, pl.physF[u.srcF[1]].val)
+		}
+		out = in.CType.Apply(u.qpVal, cond)
+	}
+	writes := [2]bool{out.Write1, out.Write2}
+	vals := [2]bool{out.Val1, out.Val2}
+	for i := 0; i < 2; i++ {
+		d := &u.pDests[i]
+		if !d.valid {
+			u.resP[i] = vals[i] // value for training even when the dest is p0
+			continue
+		}
+		if writes[i] {
+			u.resP[i] = vals[i]
+		} else {
+			u.resP[i] = pl.pprf[d.oldP].val // RMW: unwritten keeps old value
+		}
+	}
+}
+
+func (pl *Pipeline) execBranch(u *uop) {
+	in := u.in
+	switch in.Op {
+	case isa.OpBr:
+		u.actualTaken = u.qpVal
+		u.actualTgt = in.Target
+	case isa.OpCall:
+		u.actualTaken = true
+		u.actualTgt = in.Target
+		u.resI = int64(u.pc + 1)
+	case isa.OpRet, isa.OpBrInd:
+		u.actualTaken = u.qpVal
+		u.actualTgt = int(pl.physI[u.srcI[0]].val)
+	}
+}
+
+// execLoad performs the memory read (with store forwarding) and returns
+// the extra latency from the cache hierarchy.
+func (pl *Pipeline) execLoad(u *uop) int {
+	in := u.in
+	u.memAddr = pl.effAddr(u)
+	if u.selectOp && !u.qpVal {
+		// Nullified load: previous value, no memory access.
+		if in.Op == isa.OpFLoad {
+			u.resF = pl.physF[u.oldPhys].val
+		} else {
+			u.resI = pl.physI[u.oldPhys].val
+		}
+		return 0
+	}
+	var bits uint64
+	if fw, ok := pl.forward(u); ok {
+		bits = fw
+		pl.Stats.LoadForwards++
+	} else {
+		bits = pl.mem.Read64(u.memAddr)
+	}
+	if in.Op == isa.OpFLoad {
+		u.resF = math.Float64frombits(bits)
+	} else {
+		u.resI = int64(bits)
+	}
+	return pl.hier.DataAccess(u.memAddr, pl.cycle, false)
+}
+
+// forward searches older effective stores youngest-first for an exact
+// address match and returns the forwarded bits.
+func (pl *Pipeline) forward(u *uop) (uint64, bool) {
+	for i := len(pl.rob) - 1; i >= 0; i-- {
+		s := pl.rob[i]
+		if s.seq >= u.seq {
+			continue
+		}
+		if !s.in.IsStore() || s.canceled || !s.issued || !s.qpVal {
+			continue
+		}
+		if s.memAddr != u.memAddr {
+			continue
+		}
+		if s.in.Op == isa.OpFStore {
+			return math.Float64bits(s.stDataF), true
+		}
+		return uint64(s.stData), true
+	}
+	return 0, false
+}
+
+// execStore latches the address and data; memory is written at commit.
+func (pl *Pipeline) execStore(u *uop) {
+	u.memAddr = pl.effAddr(u)
+	u.memIsWrite = true
+	if u.in.Op == isa.OpFStore {
+		u.stDataF = pl.physF[u.srcF[0]].val
+	} else {
+		u.stData = pl.physI[u.srcI[1]].val
+	}
+}
+
+// writeback completes executions whose latency has elapsed: results
+// become architecturally visible in the physical registers, compare
+// results update the PPRF (possibly triggering a predicate-consumer
+// flush), and branches verify their predictions (possibly triggering a
+// branch-misprediction flush). One flush per cycle; remaining
+// completions slip to the next cycle.
+func (pl *Pipeline) writeback() {
+	for _, u := range pl.rob {
+		if !u.issued || u.done || u.doneCycle > pl.cycle {
+			continue
+		}
+		u.done = true
+		switch u.dKind {
+		case destInt:
+			pl.physI[u.newPhys] = physReg{val: u.resI, ready: true}
+		case destFP:
+			pl.physF[u.newPhys] = physRegF{val: u.resF, ready: true}
+		}
+		if u.in.IsCompare() {
+			if pl.compareWriteback(u) {
+				return // flushed
+			}
+		}
+		if u.in.IsBranch() {
+			if pl.branchWriteback(u) {
+				return // flushed
+			}
+		}
+	}
+}
+
+// compareWriteback publishes computed predicate values into the PPRF,
+// clears the speculative bit, updates PEP-PA's logical predicate file,
+// and flushes from the first speculative consumer when a predicate
+// prediction was wrong. Reports whether a flush happened.
+func (pl *Pipeline) compareWriteback(u *uop) bool {
+	var flushSeq int64 = -1
+	for i := 0; i < 2; i++ {
+		d := &u.pDests[i]
+		if !d.valid {
+			continue
+		}
+		e := &pl.pprf[d.newP]
+		mispredicted := u.cmpLkValid && !e.computed && d.predVal != u.resP[i]
+		e.val = u.resP[i]
+		e.computed = true
+		pl.lastPredVal[d.arch] = u.resP[i]
+		if mispredicted && e.robPtr != -1 && (flushSeq == -1 || e.robPtr < flushSeq) {
+			flushSeq = e.robPtr
+		}
+	}
+	if flushSeq == -1 {
+		if u.cmpLkValid {
+			pl.repairGHRBit(u)
+		}
+		return false
+	}
+	// Flush from the first speculative consumer (§3.2: the ROB pointer
+	// marks the first instruction that used the prediction).
+	var consumer *uop
+	for _, c := range pl.rob {
+		if c.seq == flushSeq {
+			consumer = c
+			break
+		}
+	}
+	if consumer == nil {
+		return false
+	}
+	// A conditional branch consumer was mispredicted: its refetched
+	// instance will read the computed value and commit "correct", so
+	// the misprediction must be scored at recovery time.
+	if consumer.isCondBr {
+		pl.Stats.BranchMispred++
+		pl.pendingRefetch[consumer.pc]++
+	}
+	pl.Stats.PredFlushes++
+	pl.flushAfter(flushSeq-1, consumer.pc, pl.cfg.MispredictPenalty)
+	if u.cmpLkValid {
+		pl.repairGHRBit(u) // after the flush unwound younger pushes
+	}
+	return true
+}
+
+// repairGHRBit corrects a resolved compare's speculative GHR bit in
+// place (§3.3: "the correct global history bit may be corrected during
+// the corresponding recovery actions"). Compares fetched between the
+// producer and the repair already predicted with the corrupted history
+// — the residual negative effect the paper measures.
+func (pl *Pipeline) repairGHRBit(u *uop) {
+	if pl.cfg.DisableGHRRepair {
+		return
+	}
+	if !u.pushedPGHR || u.cmpLk.Val1 == u.resP[0] {
+		return
+	}
+	pos := uint(0)
+	for _, s := range pl.rob {
+		if s.seq > u.seq && s.pushedPGHR {
+			pos++
+		}
+	}
+	for _, s := range pl.frontend {
+		if s.pushedPGHR {
+			pos++
+		}
+	}
+	pl.pGHR.SetBit(pos, u.resP[0])
+}
+
+// branchWriteback verifies a branch against the prediction it used and
+// recovers on a misprediction. Reports whether a flush happened.
+func (pl *Pipeline) branchWriteback(u *uop) bool {
+	actualNext := u.pc + 1
+	if u.actualTaken {
+		actualNext = u.actualTgt
+	}
+	predNext := u.pc + 1
+	if u.predTaken {
+		predNext = u.predTarget
+	}
+	if actualNext == predNext {
+		return false
+	}
+	pl.Stats.ExecFlushes++
+	pl.flushAfter(u.seq, actualNext, pl.cfg.MispredictPenalty)
+	// Correct the speculative histories for this branch's own push.
+	if u.pushedBrGHR {
+		pl.brGHR.Restore(u.brGHRSnap)
+		pl.brGHR.Push(u.actualTaken)
+	}
+	if u.pushedPGHR {
+		pl.pGHR.Restore(u.pGHRSnap)
+		pl.pGHR.Push(u.actualTaken)
+	}
+	return true
+}

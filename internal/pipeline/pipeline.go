@@ -1,0 +1,357 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/emulator"
+	"repro/internal/isa"
+	"repro/internal/peppa"
+	"repro/internal/predictor"
+	"repro/internal/program"
+)
+
+// instBytes is the footprint of one instruction in the I-cache model
+// (IA-64 packs 3 instructions in a 16-byte bundle; we charge a uniform
+// ~5 bytes, rounded to 8, per instruction plus a code base offset).
+const instBytes = 8
+
+// codeBase separates code addresses from the data addresses benchmarks
+// use, so I- and D-streams do not thrash each other artificially.
+const codeBase = 0x4000_0000
+
+// Pipeline is the out-of-order core.
+type Pipeline struct {
+	cfg  config.Config
+	prog *program.Program
+	mem  *emulator.Memory
+	hier *cache.Hierarchy
+
+	// First-level predictor (all schemes).
+	gshare *predictor.Gshare
+	brGHR  predictor.History
+
+	// Second-level predictors (one active, per scheme).
+	twolevel *predictor.TwoLevel
+	pep      *peppa.Predictor
+	pp       *core.Predictor
+	pGHR     predictor.History // perceptron GHR: branch-fed (conventional), compare-fed (predicate)
+
+	// Retired (commit-order) histories: perfect-GHR idealization and
+	// the shadow predictor.
+	retiredPGHR predictor.History
+
+	// Shadow conventional predictor for the Figure 6b breakdown
+	// (instantiated in predicate-scheme runs).
+	shadow    *predictor.TwoLevel
+	shadowGHR predictor.History
+
+	ras  *predictor.RAS
+	itab *predictor.IndirectTable
+
+	// Machine state.
+	cycle       uint64
+	seq         int64
+	fetchPC     int
+	fetchHalted bool
+	fetchStall  uint64 // fetch suppressed until this cycle
+	frontend    []*uop
+	rob         []*uop
+
+	// Rename state.
+	ratI  [isa.NumGPR]int
+	ratF  [isa.NumFPR]int
+	ratP  [isa.NumPred]int
+	physI []physReg
+	physF []physRegF
+	pprf  []pprfEntry
+	freeI []int
+	freeF []int
+	freeP []int
+
+	// Issue-queue occupancy.
+	intIQ, fpIQ, brIQ, ldQ, stQ int
+
+	// PEP-PA's logical predicate register file, updated out of order at
+	// writeback (the §4.3 caveat).
+	lastPredVal [isa.NumPred]bool
+
+	// Branch PCs awaiting their post-consumer-flush refetch; those
+	// refetched instances are trivially "early" and are excluded from
+	// the early-resolved attribution statistics.
+	pendingRefetch map[int]int
+
+	// Co-simulation oracle (tests): stepped at each commit.
+	CoSim    *emulator.Emulator
+	CoSimErr error
+
+	// DebugPerPC, when non-nil, accumulates per-branch-PC statistics at
+	// commit (diagnostic aid).
+	DebugPerPC map[int]*PCStat
+
+	halted bool
+	Stats  Stats
+}
+
+// New builds a pipeline for the program under the given configuration.
+func New(cfg config.Config, prog *program.Program) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &Pipeline{
+		cfg:    cfg,
+		prog:   prog,
+		mem:    emulator.NewMemory(),
+		hier:   cache.NewHierarchy(cfg),
+		gshare: predictor.NewGshare(cfg.GshareIdxBits),
+		ras:    predictor.NewRAS(cfg.RASEntries),
+		itab:   predictor.NewIndirectTable(10),
+	}
+	pl.pendingRefetch = make(map[int]int)
+	pl.brGHR.N = cfg.GshareGHRBits
+	pl.pGHR.N = cfg.L2PredGHRBits
+	pl.retiredPGHR.N = cfg.L2PredGHRBits
+
+	switch cfg.Scheme {
+	case config.SchemeConventional:
+		pl.twolevel = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		pl.twolevel.SetIdeal(cfg.IdealNoAlias)
+	case config.SchemePEPPA:
+		pl.pep = peppa.New(peppa.DefaultConfig())
+	case config.SchemePredicate:
+		pl.pp = core.New(core.Config{
+			SizeBytes: cfg.L2PredBytes,
+			GHRBits:   cfg.L2PredGHRBits,
+			LHRBits:   cfg.L2PredLHRBits,
+			LHTBits:   cfg.L2PredLHTBits,
+			ConfBits:  cfg.ConfBits,
+			Ideal:     cfg.IdealNoAlias,
+			SplitPVT:  cfg.SplitPVT,
+		})
+		pl.shadow = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		pl.shadowGHR.N = cfg.L2PredGHRBits
+	default:
+		return nil, fmt.Errorf("pipeline: unknown scheme %v", cfg.Scheme)
+	}
+
+	// Physical register files: architectural registers map identically
+	// at reset; the rest populate the free lists.
+	pl.physI = make([]physReg, cfg.IntPhysRegs)
+	pl.physF = make([]physRegF, cfg.FPPhysRegs)
+	pl.pprf = make([]pprfEntry, cfg.PredPhysRegs)
+	for i := range pl.physI {
+		pl.physI[i].ready = true
+	}
+	for i := range pl.physF {
+		pl.physF[i].ready = true
+	}
+	for i := range pl.pprf {
+		pl.pprf[i] = pprfEntry{computed: true, robPtr: -1}
+	}
+	pl.pprf[0].val = true // p0 hardwired true
+	for r := 0; r < isa.NumGPR; r++ {
+		pl.ratI[r] = r
+	}
+	for r := 0; r < isa.NumFPR; r++ {
+		pl.ratF[r] = r
+	}
+	for p := 0; p < isa.NumPred; p++ {
+		pl.ratP[p] = p
+	}
+	for i := isa.NumGPR; i < cfg.IntPhysRegs; i++ {
+		pl.freeI = append(pl.freeI, i)
+	}
+	for i := isa.NumFPR; i < cfg.FPPhysRegs; i++ {
+		pl.freeF = append(pl.freeF, i)
+	}
+	for i := isa.NumPred; i < cfg.PredPhysRegs; i++ {
+		pl.freeP = append(pl.freeP, i)
+	}
+	return pl, nil
+}
+
+// Memory exposes the committed architectural memory (programs often
+// need data pre-initialized; tests inspect results).
+func (pl *Pipeline) Memory() *emulator.Memory { return pl.mem }
+
+// ArchGPR reads the committed architectural value of an integer
+// register (meaningful once the ROB is empty, e.g. after halt).
+func (pl *Pipeline) ArchGPR(r isa.Reg) int64 { return pl.physI[pl.ratI[r]].val }
+
+// ArchFPR reads the committed architectural value of an FP register.
+func (pl *Pipeline) ArchFPR(r isa.Reg) float64 { return pl.physF[pl.ratF[r]].val }
+
+// ArchPred reads the committed architectural value of a predicate.
+func (pl *Pipeline) ArchPred(p isa.PredReg) bool { return pl.pprf[pl.ratP[p]].val }
+
+// Halted reports whether the program's halt instruction committed.
+func (pl *Pipeline) Halted() bool { return pl.halted }
+
+// Hierarchy exposes the cache model for statistics.
+func (pl *Pipeline) Hierarchy() *cache.Hierarchy { return pl.hier }
+
+// Run simulates until the program halts or maxCommits instructions have
+// committed (0 = unbounded). It returns an error on internal
+// inconsistency (deadlock, co-simulation divergence).
+func (pl *Pipeline) Run(maxCommits uint64) error {
+	lastCommit := pl.Stats.Committed
+	stuck := uint64(0)
+	for !pl.halted && (maxCommits == 0 || pl.Stats.Committed < maxCommits) {
+		pl.step()
+		if pl.CoSimErr != nil {
+			return pl.CoSimErr
+		}
+		if pl.Stats.Committed == lastCommit {
+			stuck++
+			if stuck > 200000 {
+				return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (pc=%d, rob=%d, frontend=%d)",
+					stuck, pl.cycle, pl.fetchPC, len(pl.rob), len(pl.frontend))
+			}
+		} else {
+			stuck = 0
+			lastCommit = pl.Stats.Committed
+		}
+	}
+	return nil
+}
+
+// step advances the machine one cycle, back to front so that a stage's
+// output is visible to earlier stages only on the next cycle.
+func (pl *Pipeline) step() {
+	pl.commit()
+	if !pl.halted {
+		pl.writeback()
+		pl.issue()
+		pl.rename()
+		pl.fetch()
+	}
+	pl.cycle++
+	pl.Stats.Cycles = pl.cycle
+}
+
+// predGHR returns the global history the second-level predictor should
+// see at prediction time (speculative, or retired under the perfect-GHR
+// idealization).
+func (pl *Pipeline) predGHR() uint64 {
+	if pl.cfg.IdealPerfectGHR {
+		return pl.retiredPGHR.Snapshot()
+	}
+	return pl.pGHR.Snapshot()
+}
+
+// instAddr maps an instruction index to its byte address.
+func instAddr(pc int) uint64 { return codeBase + uint64(pc)*instBytes }
+
+// flushAfter squashes every uop with seq strictly greater than boundary,
+// restores rename and predictor state in reverse order, clears dangling
+// PPRF consumer pointers, and redirects fetch to newPC after penalty
+// bubble cycles.
+func (pl *Pipeline) flushAfter(boundary int64, newPC int, penalty int) {
+	// Front-end uops are all younger than ROB uops; undo youngest first.
+	for i := len(pl.frontend) - 1; i >= 0; i-- {
+		u := pl.frontend[i]
+		if u.seq <= boundary {
+			break
+		}
+		pl.undoFetch(u)
+		pl.frontend = pl.frontend[:i]
+	}
+	for i := len(pl.rob) - 1; i >= 0; i-- {
+		u := pl.rob[i]
+		if u.seq <= boundary {
+			break
+		}
+		pl.undoRename(u)
+		pl.undoFetch(u)
+		u.squashed = true
+		pl.Stats.Squashed++
+		pl.rob = pl.rob[:i]
+	}
+	for i := range pl.pprf {
+		if pl.pprf[i].robPtr > boundary {
+			pl.pprf[i].robPtr = -1
+		}
+	}
+	pl.fetchPC = newPC
+	pl.fetchHalted = false
+	if until := pl.cycle + uint64(penalty); until > pl.fetchStall {
+		pl.fetchStall = until
+	}
+}
+
+// undoFetch reverses the speculative predictor updates a uop performed
+// at fetch time.
+func (pl *Pipeline) undoFetch(u *uop) {
+	if u.brLkValid {
+		pl.twolevel.Undo(u.brLk)
+		u.brLkValid = false
+	}
+	if u.cmpLkValid {
+		pl.pp.Undo(u.cmpLk)
+		u.cmpLkValid = false
+	}
+	if u.pepLkValid {
+		pl.pep.Undo(u.pepLk)
+		u.pepLkValid = false
+	}
+	if u.pushedPGHR {
+		pl.pGHR.Restore(u.pGHRSnap)
+		u.pushedPGHR = false
+	}
+	if u.pushedBrGHR {
+		pl.brGHR.Restore(u.brGHRSnap)
+		u.pushedBrGHR = false
+	}
+	if u.touchedRAS {
+		pl.ras.Restore(u.rasSnap)
+		u.touchedRAS = false
+	}
+}
+
+// undoRename reverses a uop's rename-stage effects: RAT mappings, free
+// lists and issue-queue occupancy.
+func (pl *Pipeline) undoRename(u *uop) {
+	if !u.renamed {
+		return
+	}
+	switch u.dKind {
+	case destInt:
+		pl.ratI[u.in.Rd] = u.oldPhys
+		pl.freeI = append(pl.freeI, u.newPhys)
+	case destFP:
+		pl.ratF[u.in.Rd] = u.oldPhys
+		pl.freeF = append(pl.freeF, u.newPhys)
+	}
+	for i := 1; i >= 0; i-- {
+		d := &u.pDests[i]
+		if d.valid {
+			pl.ratP[d.arch] = d.oldP
+			pl.freeP = append(pl.freeP, d.newP)
+		}
+	}
+	if !u.issued {
+		pl.releaseIQ(u)
+	}
+	if u.in.IsLoad() && !u.canceled {
+		pl.ldQ--
+	}
+	if u.in.IsStore() && !u.canceled {
+		pl.stQ--
+	}
+}
+
+// releaseIQ frees the issue-queue slot a dispatched, un-issued uop held.
+func (pl *Pipeline) releaseIQ(u *uop) {
+	switch u.class {
+	case classInt:
+		pl.intIQ--
+	case classFP:
+		pl.fpIQ--
+	case classMem:
+		pl.intIQ-- // address generation occupies the integer queue
+	case classBr:
+		pl.brIQ--
+	}
+}

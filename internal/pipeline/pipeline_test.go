@@ -1,0 +1,376 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/emulator"
+	"repro/internal/ifconvert"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func run(t *testing.T, cfg config.Config, p *program.Program) *Pipeline {
+	t.Helper()
+	pl, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.CoSim = emulator.New(p)
+	if err := pl.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Halted() {
+		t.Fatal("pipeline did not halt")
+	}
+	return pl
+}
+
+func allSchemes() []config.Scheme {
+	return []config.Scheme{config.SchemeConventional, config.SchemePredicate, config.SchemePEPPA}
+}
+
+func TestStraightLineArithmetic(t *testing.T) {
+	b := program.NewBuilder("arith")
+	b.MovI(1, 7).MovI(2, 5).Add(3, 1, 2).Mul(4, 3, 3).Sub(5, 4, 1).Halt()
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), b.Program())
+		if got := pl.ArchGPR(5); got != 137 {
+			t.Errorf("%v: r5 = %d, want 137", s, got)
+		}
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	b := program.NewBuilder("loop")
+	b.MovI(1, 100).MovI(2, 0).
+		Label("top").
+		Add(2, 2, 1).
+		SubI(1, 1, 1).
+		CmpI(isa.RelGT, isa.CmpUnc, 3, 4, 1, 0).
+		G(3).Br("top").
+		Halt()
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), b.Program())
+		if got := pl.ArchGPR(2); got != 5050 {
+			t.Errorf("%v: sum = %d, want 5050", s, got)
+		}
+		if pl.Stats.CondBranches != 100 {
+			t.Errorf("%v: cond branches = %d, want 100", s, pl.Stats.CondBranches)
+		}
+		// A simple countdown loop should be nearly perfectly predicted
+		// once warm; allow cold-start mispredictions (PEP-PA walks
+		// through ~14 cold local-history patterns before converging).
+		if pl.Stats.BranchMispred > 20 {
+			t.Errorf("%v: mispredicts = %d on a trivial loop", s, pl.Stats.BranchMispred)
+		}
+	}
+}
+
+func TestMemoryAndForwarding(t *testing.T) {
+	b := program.NewBuilder("mem")
+	b.MovI(1, 0x8000).MovI(2, 41).
+		Store(1, 0, 2).
+		Load(3, 1, 0). // must forward 41 from the store queue
+		AddI(3, 3, 1).
+		Store(1, 8, 3).
+		Load(4, 1, 8).
+		Halt()
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), b.Program())
+		if got := pl.ArchGPR(4); got != 42 {
+			t.Errorf("%v: r4 = %d, want 42", s, got)
+		}
+		if pl.Stats.LoadForwards == 0 {
+			t.Errorf("%v: expected store-to-load forwarding", s)
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := program.NewBuilder("callret")
+	b.MovI(1, 20).
+		Call(31, "twice").
+		Call(30, "twice"). // nested-free second call
+		Mov(4, 2).
+		Halt().
+		Label("twice").
+		Add(2, 1, 1).
+		Ret(31)
+	// r31 is clobbered by the second call's return address; rebuild so
+	// each call uses its own link register.
+	b2 := program.NewBuilder("callret")
+	b2.MovI(1, 20).
+		Call(31, "twice").
+		Mov(4, 2).
+		Halt().
+		Label("twice").
+		Add(2, 1, 1).
+		Ret(31)
+	_ = b
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), b2.Program())
+		if got := pl.ArchGPR(4); got != 40 {
+			t.Errorf("%v: r4 = %d, want 40", s, got)
+		}
+	}
+}
+
+func TestPredicatedExecutionCosim(t *testing.T) {
+	// Guarded moves with both polarities, plus a guarded store.
+	b := program.NewBuilder("pred")
+	b.MovI(1, 3).MovI(9, 0x9000).
+		CmpI(isa.RelEQ, isa.CmpUnc, 1, 2, 1, 3). // p1 true, p2 false
+		G(1).MovI(10, 111).
+		G(2).MovI(10, 222).
+		G(1).Store(9, 0, 10).
+		G(2).Store(9, 8, 10).
+		Load(11, 9, 0).
+		Halt()
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), b.Program())
+		if got := pl.ArchGPR(10); got != 111 {
+			t.Errorf("%v: r10 = %d, want 111", s, got)
+		}
+		if got := pl.ArchGPR(11); got != 111 {
+			t.Errorf("%v: r11 = %d, want 111", s, got)
+		}
+		if got := pl.Memory().Read64(0x9008); got != 0 {
+			t.Errorf("%v: nullified store wrote memory: %d", s, got)
+		}
+	}
+}
+
+// buildHardLoop returns a loop with an LCG-driven unpredictable diamond,
+// the stress case for speculation recovery.
+func buildHardLoop(iters int64) *program.Program {
+	b := program.NewBuilder("hard")
+	b.MovI(8, 99991).MovI(2, 0).MovI(3, iters).MovI(5, 0)
+	b.Label("loop").
+		MulI(8, 8, 6364136223846793005).AddI(8, 8, 1442695040888963407).
+		ShrI(9, 8, 33).AndI(9, 9, 1).
+		CmpI(isa.RelNE, isa.CmpUnc, 12, 13, 9, 0).
+		G(12).Br("else").
+		AddI(5, 5, 1).
+		Br("join").
+		Label("else").AddI(5, 5, 2).
+		Label("join").
+		AddI(2, 2, 1).
+		Cmp(isa.RelLT, isa.CmpUnc, 10, 11, 2, 3).
+		G(10).Br("loop").
+		Halt()
+	return b.Program()
+}
+
+func TestHardBranchCosimAllSchemes(t *testing.T) {
+	p := buildHardLoop(500)
+	em := emulator.New(p)
+	em.Run(0)
+	want := em.State.GPR[5]
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), p)
+		if got := pl.ArchGPR(5); got != want {
+			t.Errorf("%v: acc = %d, want %d", s, got, want)
+		}
+		// Under the predicate scheme recovery fires at the consumer
+		// (PredFlushes) rather than at branch execute.
+		if pl.Stats.ExecFlushes+pl.Stats.PredFlushes == 0 {
+			t.Errorf("%v: expected misprediction recovery on an LCG branch", s)
+		}
+	}
+}
+
+func TestIfConvertedCosimAllSchemes(t *testing.T) {
+	p := buildHardLoop(500)
+	res, err := ifconvert.Convert(p, ifconvert.Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Converted) == 0 {
+		t.Fatal("nothing converted")
+	}
+	em := emulator.New(p)
+	em.Run(0)
+	want := em.State.GPR[5]
+	for _, s := range allSchemes() {
+		pl := run(t, config.Default().WithScheme(s), res.Prog)
+		if got := pl.ArchGPR(5); got != want {
+			t.Errorf("%v: acc = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestSelectivePredicationStats(t *testing.T) {
+	p := buildHardLoop(2000)
+	res, err := ifconvert.Convert(p, ifconvert.Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default().WithScheme(config.SchemePredicate)
+	pl := run(t, cfg, res.Prog)
+	if pl.Stats.PredPredictions == 0 {
+		t.Error("predicate predictor made no predictions")
+	}
+	// The guarded adds should sometimes be cancelled or unguarded once
+	// confidence builds, and fall back to select ops otherwise.
+	if pl.Stats.Cancelled+pl.Stats.Unguarded+pl.Stats.SelectOps == 0 {
+		t.Error("no predication activity recorded")
+	}
+	// An unpredictable predicate must produce consumer flushes.
+	if pl.Stats.PredFlushes == 0 && pl.Stats.ExecFlushes == 0 {
+		t.Error("expected speculation recovery activity")
+	}
+}
+
+func TestSelectModeBaseline(t *testing.T) {
+	p := buildHardLoop(1000)
+	res, err := ifconvert.Convert(p, ifconvert.Options{MaxBlockLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default().WithScheme(config.SchemeConventional)
+	pl := run(t, cfg, res.Prog)
+	if pl.Stats.SelectOps == 0 {
+		t.Error("conventional scheme must execute guarded code as select micro-ops")
+	}
+	if pl.Stats.Cancelled != 0 || pl.Stats.Unguarded != 0 {
+		t.Error("conventional scheme must not cancel or unguard")
+	}
+}
+
+func TestEarlyResolvedBranches(t *testing.T) {
+	// Hoist the compare far from the branch: by the time the branch
+	// renames, the predicate is computed (early-resolved).
+	b := program.NewBuilder("early")
+	b.MovI(1, 300).MovI(2, 0)
+	b.Label("loop").
+		Cmp(isa.RelLT, isa.CmpUnc, 10, 11, 2, 1) // compare early
+	for i := 0; i < 12; i++ {
+		b.AddI(20, 20, 1) // filler: gives the compare time to execute
+	}
+	b.AddI(2, 2, 1).
+		G(10).Br("loop").
+		Halt()
+	cfg := config.Default().WithScheme(config.SchemePredicate)
+	pl := run(t, cfg, b.Program())
+	if pl.Stats.CondBranches == 0 {
+		t.Fatal("no branches committed")
+	}
+	frac := float64(pl.Stats.EarlyResolved) / float64(pl.Stats.CondBranches)
+	if frac < 0.5 {
+		t.Errorf("early-resolved fraction = %.2f, want most branches early", frac)
+	}
+	// Early-resolved branches are 100%% accurate; with a trivially
+	// biased loop branch, overall mispredicts should be tiny.
+	if pl.Stats.BranchMispred > 5 {
+		t.Errorf("mispredicts = %d with early resolution", pl.Stats.BranchMispred)
+	}
+}
+
+func TestRandomProgramsCosim(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		for _, s := range allSchemes() {
+			pl, err := New(config.Default().WithScheme(s), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.CoSim = emulator.New(p)
+			if err := pl.Run(3_000_000); err != nil {
+				t.Fatalf("seed %d scheme %v: %v", seed, s, err)
+			}
+			if !pl.Halted() {
+				t.Fatalf("seed %d scheme %v: did not halt", seed, s)
+			}
+		}
+	}
+}
+
+func TestRandomIfConvertedCosim(t *testing.T) {
+	for seed := int64(20); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		res, err := ifconvert.Convert(p, ifconvert.Options{MaxBlockLen: 10})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range allSchemes() {
+			pl, err := New(config.Default().WithScheme(s), res.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.CoSim = emulator.New(res.Prog)
+			if err := pl.Run(3_000_000); err != nil {
+				t.Fatalf("seed %d scheme %v: %v", seed, s, err)
+			}
+		}
+	}
+}
+
+// randomProgram builds a random but structured program: an outer loop
+// with LCG-driven hammocks, guarded ops, memory traffic and FP work.
+func randomProgram(rng *rand.Rand) *program.Program {
+	b := program.NewBuilder("rand")
+	b.MovI(8, rng.Int63n(1<<30)+7)
+	b.MovI(1, 0x100000) // array base
+	b.MovI(2, 0).MovI(3, int64(rng.Intn(150)+50))
+	b.FMovI(1, 1.5).FMovI(2, 0.5)
+	b.Label("loop")
+	nBlocks := rng.Intn(4) + 1
+	for k := 0; k < nBlocks; k++ {
+		// Advance LCG, derive a condition bit.
+		b.MulI(8, 8, 6364136223846793005).AddI(8, 8, 1442695040888963407)
+		b.ShrI(9, 8, int64(20+rng.Intn(20))).AndI(9, 9, 1)
+		pT := isa.PredReg(12 + 2*(k%8))
+		pF := isa.PredReg(13 + 2*(k%8))
+		b.CmpI(isa.RelNE, isa.CmpUnc, pT, pF, 9, 0)
+		lbl := func(s string) string { return s + string(rune('a'+k)) }
+		switch rng.Intn(4) {
+		case 0: // plain guarded ops (already predicated code)
+			b.G(pT).AddI(20, 20, 1)
+			b.G(pF).AddI(21, 21, 1)
+		case 1: // hammock with memory
+			b.G(pT).Br(lbl("skip"))
+			b.AndI(10, 8, 0xff8)
+			b.Add(10, 1, 10)
+			b.Store(10, 0, 9)
+			b.Load(11, 10, 0)
+			b.Label(lbl("skip"))
+		case 2: // diamond
+			b.G(pT).Br(lbl("else"))
+			b.AddI(22, 22, 3)
+			b.Br(lbl("join"))
+			b.Label(lbl("else"))
+			b.SubI(22, 22, 1)
+			b.Label(lbl("join"))
+		case 3: // FP work + fp compare
+			b.FAdd(3, 1, 2)
+			b.FCmp(isa.RelLT, isa.CmpUnc, 14+isa.PredReg(k%4)*2, 15+isa.PredReg(k%4)*2, 3, 1)
+			b.FMul(1, 1, 2)
+		}
+	}
+	b.AddI(2, 2, 1)
+	b.Cmp(isa.RelLT, isa.CmpUnc, 10, 11, 2, 3)
+	b.G(10).Br("loop")
+	b.Halt()
+	return b.Program()
+}
+
+func TestStatsRates(t *testing.T) {
+	var s Stats
+	s.CondBranches = 200
+	s.BranchMispred = 10
+	if s.MispredictRate() != 0.05 {
+		t.Errorf("rate = %v", s.MispredictRate())
+	}
+	if s.Accuracy() != 0.95 {
+		t.Errorf("accuracy = %v", s.Accuracy())
+	}
+	s.Cycles = 100
+	s.Committed = 150
+	if s.IPC() != 1.5 {
+		t.Errorf("ipc = %v", s.IPC())
+	}
+}

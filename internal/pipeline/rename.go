@@ -1,0 +1,336 @@
+package pipeline
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// rename consumes up to RenameWidth uops from the front-end queue,
+// renaming registers and predicates, applying the predication policy
+// (select micro-ops or the paper's selective cancellation/unguarding),
+// reading branch predictions from the PPRF under the predicate scheme,
+// and performing second-level override flushes.
+func (pl *Pipeline) rename() {
+	for n := 0; n < pl.cfg.RenameWidth && len(pl.frontend) > 0; n++ {
+		u := pl.frontend[0]
+		if u.wake > pl.cycle {
+			return
+		}
+		if len(pl.rob) >= pl.cfg.ROBEntries {
+			return
+		}
+		if !pl.resourcesFor(u) {
+			return
+		}
+		pl.frontend = pl.frontend[1:]
+
+		override := pl.renameOne(u)
+		pl.rob = append(pl.rob, u)
+		if override {
+			return // front-end flushed; nothing younger to rename
+		}
+	}
+}
+
+// resourcesFor conservatively checks free physical registers and queue
+// slots before renaming a uop.
+func (pl *Pipeline) resourcesFor(u *uop) bool {
+	in := u.in
+	if in.WritesGPR() && len(pl.freeI) < 1 {
+		return false
+	}
+	if in.WritesFPR() && len(pl.freeF) < 1 {
+		return false
+	}
+	if in.IsCompare() && len(pl.freeP) < 2 {
+		return false
+	}
+	switch {
+	case in.IsBranch():
+		if pl.brIQ >= pl.cfg.BrIQEntries {
+			return false
+		}
+	case in.IsMem():
+		if pl.intIQ >= pl.cfg.IntIQEntries {
+			return false
+		}
+		if in.IsLoad() && pl.ldQ >= pl.cfg.LoadQEntries {
+			return false
+		}
+		if in.IsStore() && pl.stQ >= pl.cfg.StoreQEntries {
+			return false
+		}
+	case in.IsFP():
+		if pl.fpIQ >= pl.cfg.FPIQEntries {
+			return false
+		}
+	default:
+		if pl.intIQ >= pl.cfg.IntIQEntries {
+			return false
+		}
+	}
+	return true
+}
+
+// renameOne renames a single uop and reports whether it triggered a
+// front-end override flush.
+func (pl *Pipeline) renameOne(u *uop) bool {
+	in := u.in
+	u.renamed = true
+	u.class = classify(in)
+
+	guarded := in.QP != isa.P0
+	if guarded {
+		u.qpPhys = pl.ratP[in.QP]
+	}
+
+	// Predication policy for guarded non-branch instructions.
+	if guarded && !in.IsBranch() && in.Op != isa.OpHalt {
+		pl.applyPredication(u)
+	}
+
+	if u.canceled && !u.uncFalse {
+		// True nop: no rename, no issue.
+		u.class = classNone
+		u.done = true
+		u.doneCycle = pl.cycle
+		pl.trackMemQueues(u)
+		return false
+	}
+
+	// Sources (before destination renaming).
+	for _, r := range in.GPRSources() {
+		u.srcI = append(u.srcI, pl.ratI[r])
+	}
+	for _, r := range in.FPRSources() {
+		u.srcF = append(u.srcF, pl.ratF[r])
+	}
+	if u.uncFalse {
+		// Cancelled unc compare still writes false/false but evaluates
+		// nothing: drop data sources.
+		u.srcI, u.srcF = nil, nil
+	}
+
+	// The guard becomes a data source for select micro-ops and branches.
+	if guarded && (u.selectOp || in.IsBranch()) {
+		u.srcP = append(u.srcP, u.qpPhys)
+	}
+	// Select micro-ops also read the previous destination mapping.
+	if u.selectOp && !in.IsCompare() {
+		switch {
+		case in.WritesGPR():
+			u.oldPhys = pl.ratI[in.Rd]
+			u.srcI = append(u.srcI, pl.ratI[in.Rd])
+		case in.WritesFPR():
+			u.oldPhys = pl.ratF[in.Rd]
+			u.srcF = append(u.srcF, pl.ratF[in.Rd])
+		}
+	}
+
+	// Destination renaming.
+	switch {
+	case in.WritesGPR():
+		u.dKind = destInt
+		u.newPhys = pl.allocI()
+		u.oldPhys = pl.ratI[in.Rd]
+		pl.ratI[in.Rd] = u.newPhys
+	case in.WritesFPR():
+		u.dKind = destFP
+		u.newPhys = pl.allocF()
+		u.oldPhys = pl.ratF[in.Rd]
+		pl.ratF[in.Rd] = u.newPhys
+	}
+
+	if in.IsCompare() && !(u.canceled && !u.uncFalse) {
+		pl.renameCompare(u)
+	}
+
+	var override bool
+	if in.IsBranch() {
+		override = pl.renameBranch(u)
+	}
+
+	if u.class == classNone {
+		u.done = true
+		u.doneCycle = pl.cycle
+	} else {
+		pl.acquireIQ(u)
+	}
+	pl.trackMemQueues(u)
+	return override
+}
+
+// applyPredication decides how a guarded non-branch uop is handled:
+// select micro-op (baseline), or the paper's selective cancellation /
+// unguarding when the predicate scheme is active and the PPRF entry is
+// computed or confidently predicted.
+func (pl *Pipeline) applyPredication(u *uop) {
+	if pl.cfg.Scheme == config.SchemePredicate && pl.cfg.Predication == config.PredicationSelective {
+		e := &pl.pprf[u.qpPhys]
+		usable := e.computed || e.conf
+		if usable {
+			if !e.computed {
+				u.usedSpec = true
+				if e.robPtr == -1 {
+					e.robPtr = u.seq
+				}
+			}
+			if e.val {
+				u.unguarded = true
+			} else {
+				u.canceled = true
+				if u.in.Op == isa.OpCmp || u.in.Op == isa.OpCmpI || u.in.Op == isa.OpFCmp {
+					if u.in.CType == isa.CmpUnc {
+						// A nullified unc compare still clears both
+						// destinations: keep it executable.
+						u.uncFalse = true
+					}
+				}
+			}
+			return
+		}
+	}
+	u.selectOp = true
+}
+
+// renameCompare renames the two predicate destinations and records
+// RMW semantics and predicted values.
+func (pl *Pipeline) renameCompare(u *uop) {
+	in := u.in
+	// norm compares under a select-op guard, and all and/or compares,
+	// may leave their destinations unwritten: the computed result is
+	// then the old value (read-modify-write).
+	rmw := in.CType == isa.CmpAnd || in.CType == isa.CmpOr ||
+		(in.CType == isa.CmpNorm && u.selectOp)
+	for i, arch := range [2]isa.PredReg{in.P1, in.P2} {
+		if arch == isa.P0 {
+			continue
+		}
+		d := &u.pDests[i]
+		d.arch = arch
+		d.valid = true
+		d.rmw = rmw
+		d.oldP = pl.ratP[arch]
+		if rmw {
+			u.srcP = append(u.srcP, d.oldP)
+		}
+		d.newP = pl.allocP()
+		e := &pl.pprf[d.newP]
+		*e = pprfEntry{computed: false, robPtr: -1}
+		if u.cmpLkValid {
+			if i == 0 {
+				e.val, e.conf, d.predVal = u.cmpLk.Val1, u.cmpLk.Conf1, u.cmpLk.Val1
+			} else {
+				e.val, e.conf, d.predVal = u.cmpLk.Val2, u.cmpLk.Conf2, u.cmpLk.Val2
+			}
+		}
+		pl.ratP[arch] = d.newP
+	}
+}
+
+// renameBranch delivers the second-level prediction at rename. Under
+// the predicate scheme it reads the branch's guard from the PPRF —
+// computed value (early-resolved) or prediction — per §3.1. A
+// disagreement with the fetch-stage gshare flushes the front-end.
+// Reports whether a flush happened.
+func (pl *Pipeline) renameBranch(u *uop) bool {
+	if !u.isCondBr {
+		return false
+	}
+	finalPred := u.predTaken
+	switch pl.cfg.Scheme {
+	case config.SchemeConventional:
+		finalPred = u.brLk.Taken
+	case config.SchemePEPPA:
+		finalPred = u.pepLk.Taken
+	case config.SchemePredicate:
+		e := &pl.pprf[u.qpPhys]
+		if e.computed {
+			u.early = true
+		} else {
+			u.usedSpec = true
+			if e.robPtr == -1 {
+				e.robPtr = u.seq
+			}
+		}
+		finalPred = e.val
+	}
+	if finalPred == u.fetchPredTaken {
+		return false
+	}
+
+	// Override: correct the speculative gshare history bit, flush the
+	// front-end and redirect fetch along the new direction.
+	u.predTaken = finalPred
+	pl.Stats.OverrideFlushes++
+	newPC := u.pc + 1
+	if finalPred {
+		newPC = u.in.Target
+	}
+	pl.flushAfter(u.seq, newPC, 0)
+	pl.brGHR.Restore(u.brGHRSnap)
+	pl.brGHR.Push(finalPred)
+	return true
+}
+
+// classify routes an instruction to an issue class.
+func classify(in *isa.Inst) uopClass {
+	switch {
+	case in.Op == isa.OpNop || in.Op == isa.OpHalt:
+		return classNone
+	case in.IsBranch():
+		return classBr
+	case in.IsMem():
+		return classMem
+	case in.IsFP():
+		return classFP
+	default:
+		return classInt
+	}
+}
+
+func (pl *Pipeline) allocI() int {
+	n := len(pl.freeI) - 1
+	p := pl.freeI[n]
+	pl.freeI = pl.freeI[:n]
+	pl.physI[p] = physReg{}
+	return p
+}
+
+func (pl *Pipeline) allocF() int {
+	n := len(pl.freeF) - 1
+	p := pl.freeF[n]
+	pl.freeF = pl.freeF[:n]
+	pl.physF[p] = physRegF{}
+	return p
+}
+
+func (pl *Pipeline) allocP() int {
+	n := len(pl.freeP) - 1
+	p := pl.freeP[n]
+	pl.freeP = pl.freeP[:n]
+	return p
+}
+
+func (pl *Pipeline) acquireIQ(u *uop) {
+	switch u.class {
+	case classInt, classMem:
+		pl.intIQ++
+	case classFP:
+		pl.fpIQ++
+	case classBr:
+		pl.brIQ++
+	}
+}
+
+func (pl *Pipeline) trackMemQueues(u *uop) {
+	if u.canceled {
+		return
+	}
+	if u.in.IsLoad() {
+		pl.ldQ++
+	}
+	if u.in.IsStore() {
+		pl.stQ++
+	}
+}

@@ -1,0 +1,196 @@
+// Package pipeline implements the execution-driven, value-accurate
+// out-of-order processor model of the paper's evaluation (§4.1): an
+// 8-stage pipeline with the Table 1 window sizes and memory hierarchy,
+// ROB-walk rename recovery, a two-level override branch predictor, and
+// the three second-level schemes under study (conventional perceptron,
+// PEP-PA, and the predicate predictor with its PPRF extensions and
+// selective predication).
+package pipeline
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/peppa"
+	"repro/internal/predictor"
+)
+
+// destKind classifies an instruction's register destination.
+type destKind uint8
+
+const (
+	destNone destKind = iota
+	destInt
+	destFP
+)
+
+// uopClass routes a micro-op to an issue queue and function unit pool.
+type uopClass uint8
+
+const (
+	classInt uopClass = iota
+	classFP
+	classMem
+	classBr
+	classNone // canceled / nop / halt: never issues
+)
+
+// physReg is an integer physical register.
+type physReg struct {
+	val   int64
+	ready bool
+}
+
+// physRegF is a floating-point physical register.
+type physRegF struct {
+	val   float64
+	ready bool
+}
+
+// pprfEntry is a predicate physical register with the paper's §3.2
+// extensions: the speculative (prediction) bit, a confidence bit and a
+// ROB pointer to the first speculative consumer. val holds the
+// predicted value until the producing compare executes and overwrites
+// it with the computed value — the property that makes early-resolved
+// branches free.
+type pprfEntry struct {
+	val      bool
+	computed bool  // false while val is a prediction (speculative bit set)
+	conf     bool  // prediction confidence at allocation
+	robPtr   int64 // seq of first speculative consumer, -1 when none
+}
+
+// predDest records the renaming of one predicate destination.
+type predDest struct {
+	arch    isa.PredReg
+	newP    int
+	oldP    int
+	valid   bool
+	rmw     bool // final value may be the old value (norm/and/or semantics)
+	predVal bool // predicted final value (predicate scheme)
+}
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq  int64
+	pc   int
+	in   *isa.Inst
+	wake uint64 // cycle at which the uop is visible to rename (front-end delay)
+
+	// Fetch-time prediction state.
+	fetchPredTaken bool // first-level (gshare) direction
+	predTaken      bool // final direction prediction used
+	predTarget     int  // predicted target when taken
+	gshareGHR      uint64
+	brGHRSnap      uint64 // gshare GHR before this uop's push
+	pushedBrGHR    bool
+	pGHRSnap       uint64 // perceptron GHR before this uop's push
+	pushedPGHR     bool
+	rasSnap        predictor.RASSnapshot
+	touchedRAS     bool
+	brLk           predictor.TwoLevelLookup
+	brLkValid      bool
+	pepLk          peppa.Lookup
+	pepLkValid     bool
+	cmpLk          core.Lookup
+	cmpLkValid     bool
+
+	// Rename results.
+	class     uopClass
+	dKind     destKind
+	newPhys   int
+	oldPhys   int
+	pDests    [2]predDest
+	srcI      []int // int physical sources
+	srcF      []int // fp physical sources
+	srcP      []int // predicate physical sources that must be computed
+	qpPhys    int   // physical reg of the qualifying predicate (-1 if p0)
+	selectOp  bool  // select-style micro-op: result may be the old dest value
+	canceled  bool  // nullified at rename (selective predication, predicted false)
+	unguarded bool  // guard dropped at rename (selective predication, predicted true)
+	uncFalse  bool  // canceled unc compare: still writes false/false
+	usedSpec  bool  // consumed a speculative PPRF value at rename
+	early     bool  // branch guard was computed at rename (early-resolved)
+	refetched bool  // refetch after this branch's own consumer-flush
+	renamed   bool
+
+	// Execution state.
+	issued      bool
+	done        bool
+	doneCycle   uint64
+	resI        int64
+	resF        float64
+	resP        [2]bool
+	actualTaken bool
+	actualTgt   int
+	memAddr     uint64
+	memIsWrite  bool
+	qpVal       bool // computed guard value (valid at execute)
+	stData      int64
+	stDataF     float64
+	squashed    bool
+	isCondBr    bool
+}
+
+// Stats aggregates the run's observable behaviour. Branch statistics
+// count committed instructions only.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+	Squashed  uint64
+
+	CondBranches     uint64
+	BranchMispred    uint64 // committed conditional branches with wrong direction
+	TargetMispred    uint64 // indirect/return target mispredictions
+	EarlyResolved    uint64 // branches whose guard was computed at rename
+	EarlyResolvedHit uint64 // early-resolved and the shadow conventional was wrong
+	OverrideFlushes  uint64 // first/second level disagreement front-end flushes
+	ExecFlushes      uint64 // branch-execute misprediction flushes
+	PredFlushes      uint64 // predicate-consumer misprediction flushes
+
+	Compares        uint64 // committed predicate-producing instructions
+	PredPredictions uint64 // predicate value predictions generated (committed)
+	PredMispredicts uint64 // committed compares whose used prediction was wrong
+	Cancelled       uint64 // instructions cancelled at rename (predicted-false)
+	Unguarded       uint64 // instructions unguarded at rename (predicted-true)
+	SelectOps       uint64 // guarded instructions handled as select micro-ops
+
+	ShadowCondBranches uint64 // committed cond branches scored by the shadow predictor
+	ShadowMispred      uint64 // shadow conventional predictor mispredictions
+
+	LoadForwards uint64
+	HaltSeen     bool
+}
+
+// MispredictRate returns mispredictions per committed conditional branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.BranchMispred) / float64(s.CondBranches)
+}
+
+// Accuracy returns 1 - MispredictRate.
+func (s *Stats) Accuracy() float64 { return 1 - s.MispredictRate() }
+
+// ShadowMispredictRate returns the shadow conventional predictor's
+// misprediction rate (predicate-scheme runs only).
+func (s *Stats) ShadowMispredictRate() float64 {
+	if s.ShadowCondBranches == 0 {
+		return 0
+	}
+	return float64(s.ShadowMispred) / float64(s.ShadowCondBranches)
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// PCStat is a per-branch-PC diagnostic record (see Pipeline.DebugPerPC).
+type PCStat struct {
+	Execs, Mispred, Early, Taken uint64
+}

@@ -1,0 +1,196 @@
+package program
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Builder offers a fluent API for constructing programs in Go code. All
+// emit methods return the builder for chaining; G(...) sets the
+// qualifying predicate for the next emitted instruction only.
+type Builder struct {
+	p     *Program
+	guard isa.PredReg
+}
+
+// NewBuilder returns a builder writing into a fresh program.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: New(name)}
+}
+
+// Program finalizes the program: resolves labels and validates. It
+// panics on malformed programs (builder misuse is a programming error).
+func (b *Builder) Program() *Program {
+	if err := b.p.Resolve(); err != nil {
+		panic(err)
+	}
+	return b.p
+}
+
+// Raw returns the underlying program without resolving labels.
+func (b *Builder) Raw() *Program { return b.p }
+
+// Label binds a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	b.p.Mark(name)
+	return b
+}
+
+// G guards the next emitted instruction with predicate qp.
+func (b *Builder) G(qp isa.PredReg) *Builder {
+	b.guard = qp
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	in.QP = b.guard
+	b.guard = isa.P0
+	b.p.Append(in)
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Inst{Op: isa.OpNop}) }
+
+// Halt emits a program terminator.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// ALU register-register ops.
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShl, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ALU register-immediate ops.
+
+func (b *Builder) AddI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAddI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) SubI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpSubI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) MulI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMulI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) AndI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAndI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) OrI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpOrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) XorI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpXorI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) ShlI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShlI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) ShrI(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Moves.
+
+func (b *Builder) Mov(rd, rs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMov, Rd: rd, Rs1: rs1})
+}
+func (b *Builder) MovI(rd isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMovI, Rd: rd, Imm: imm})
+}
+
+// Memory.
+
+func (b *Builder) Load(rd, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoad, Rd: rd, Rs1: base, Imm: off})
+}
+func (b *Builder) Store(base isa.Reg, off int64, rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStore, Rs1: base, Imm: off, Rs2: rs})
+}
+func (b *Builder) FLoad(fd, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFLoad, Rd: fd, Rs1: base, Imm: off})
+}
+func (b *Builder) FStore(base isa.Reg, off int64, fs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFStore, Rs1: base, Imm: off, Rs2: fs})
+}
+
+// Floating point.
+
+func (b *Builder) FAdd(fd, fs1, fs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFAdd, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) FSub(fd, fs1, fs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFSub, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) FMul(fd, fs1, fs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFMul, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) FDiv(fd, fs1, fs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFDiv, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) FMov(fd, fs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFMov, Rd: fd, Rs1: fs1})
+}
+
+// FMovI emits a float immediate load; the float is stored bit-exactly.
+func (b *Builder) FMovI(fd isa.Reg, v float64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFMovI, Rd: fd, Imm: int64(math.Float64bits(v))})
+}
+func (b *Builder) FCvtIF(fd, rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFCvtIF, Rd: fd, Rs1: rs})
+}
+func (b *Builder) FCvtFI(rd, fs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFCvtFI, Rd: rd, Rs1: fs})
+}
+
+// Compares.
+
+func (b *Builder) Cmp(rel isa.Rel, ct isa.CmpType, p1, p2 isa.PredReg, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpCmp, Rel: rel, CType: ct, P1: p1, P2: p2, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) CmpI(rel isa.Rel, ct isa.CmpType, p1, p2 isa.PredReg, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpCmpI, Rel: rel, CType: ct, P1: p1, P2: p2, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) FCmp(rel isa.Rel, ct isa.CmpType, p1, p2 isa.PredReg, fs1, fs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFCmp, Rel: rel, CType: ct, P1: p1, P2: p2, Rs1: fs1, Rs2: fs2})
+}
+
+// Control flow. Targets are labels, resolved by Program().
+
+// Br emits a branch to label. An unguarded Br (no preceding G call) is
+// unconditional; a guarded Br is a conditional branch.
+func (b *Builder) Br(label string) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpBr, Label: label})
+}
+func (b *Builder) Call(rd isa.Reg, label string) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpCall, Rd: rd, Label: label})
+}
+func (b *Builder) Ret(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpRet, Rs1: rs})
+}
+func (b *Builder) BrInd(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpBrInd, Rs1: rs})
+}

@@ -1,0 +1,259 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) with a single entry and a single exit point.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// CFG is the control-flow graph of a program.
+type CFG struct {
+	Prog    *Program
+	Blocks  []Block
+	blockAt []int // instruction index -> block ID
+}
+
+// BuildCFG partitions a resolved program into basic blocks and edges.
+// Leaders are: instruction 0, every direct branch target, and every
+// instruction following a branch.
+func BuildCFG(p *Program) *CFG {
+	n := p.Len()
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.IsBranch() {
+			if in.IsDirect() {
+				leader[in.Target] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == isa.OpHalt && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	cfg := &CFG{Prog: p, blockAt: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			id := len(cfg.Blocks)
+			cfg.Blocks = append(cfg.Blocks, Block{ID: id, Start: start, End: i})
+			for j := start; j < i; j++ {
+				cfg.blockAt[j] = id
+			}
+			start = i
+		}
+	}
+
+	// Edges.
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		last := p.At(b.End - 1)
+		switch {
+		case last.Op == isa.OpHalt:
+			// no successors
+		case last.IsBranch() && last.IsDirect():
+			cfg.addEdge(bi, cfg.blockAt[last.Target])
+			if last.IsConditional() && b.End < n {
+				cfg.addEdge(bi, cfg.blockAt[b.End])
+			}
+			if last.Op == isa.OpCall && b.End < n {
+				// calls return; model the fallthrough edge for analysis
+				cfg.addEdge(bi, cfg.blockAt[b.End])
+			}
+		case last.IsBranch(): // indirect: unknown targets
+			if last.IsConditional() && b.End < n {
+				cfg.addEdge(bi, cfg.blockAt[b.End])
+			}
+		default:
+			if b.End < n {
+				cfg.addEdge(bi, cfg.blockAt[b.End])
+			}
+		}
+	}
+	return cfg
+}
+
+func (c *CFG) addEdge(from, to int) {
+	for _, s := range c.Blocks[from].Succs {
+		if s == to {
+			return
+		}
+	}
+	c.Blocks[from].Succs = append(c.Blocks[from].Succs, to)
+	c.Blocks[to].Preds = append(c.Blocks[to].Preds, from)
+}
+
+// BlockOf returns the block ID containing instruction index pc.
+func (c *CFG) BlockOf(pc int) int { return c.blockAt[pc] }
+
+// HammockKind distinguishes the if-convertible region shapes.
+type HammockKind int
+
+const (
+	// IfThen: head's branch skips a straight-line block.
+	IfThen HammockKind = iota
+	// Diamond: head's branch selects between two straight-line blocks
+	// that merge at a join.
+	Diamond
+	// Exit: head's branch skips a straight-line block whose final
+	// instruction is an unconditional branch elsewhere (loop break,
+	// return). If-converting this form turns that unconditional branch
+	// into a conditional region-branch — the paper's Figure 1 case.
+	Exit
+)
+
+// String names the hammock kind.
+func (k HammockKind) String() string {
+	switch k {
+	case IfThen:
+		return "if-then"
+	case Diamond:
+		return "diamond"
+	case Exit:
+		return "exit"
+	}
+	return "hammock(?)"
+}
+
+// Hammock describes an if-convertible region rooted at a conditional
+// branch: an if-then (Else == -1), an if-then-else diamond, or an
+// exit-pattern. Branch is the instruction index of the conditional
+// branch terminating the head block; Then/Else are block IDs; Join is
+// the merge block ID (or the skip block for Exit).
+type Hammock struct {
+	Kind   HammockKind
+	Head   int // head block ID
+	Branch int // conditional branch instruction index
+	Then   int // block executed when the branch is NOT taken (fallthrough)
+	Else   int // block executed when the branch IS taken, or -1
+	Join   int // merge block
+}
+
+// FindHammocks detects simple single-block if-then and if-then-else
+// regions eligible for if-conversion:
+//
+//	head:  ... ; (pX) br L        head: ... ; (pX) br Lelse
+//	then:  ...  (fallthrough)     then: ... ; br Ljoin
+//	L/join: ...                   else(Lelse): ... (fallthrough)
+//	                              join(Ljoin): ...
+//
+// The then/else blocks must be straight-line (no branches except the
+// then-block's terminating unconditional br in the diamond form), must
+// not be join points of other control flow, and must not contain
+// unguarded compares that would clobber live predicates (we accept all
+// compares; the converter re-guards them with and-type semantics).
+func (c *CFG) FindHammocks(maxBlockLen int) []Hammock {
+	var out []Hammock
+	p := c.Prog
+	for bi := range c.Blocks {
+		head := &c.Blocks[bi]
+		brIdx := head.End - 1
+		in := p.At(brIdx)
+		if in.Op != isa.OpBr || !in.IsConditional() {
+			continue
+		}
+		if len(head.Succs) != 2 {
+			continue
+		}
+		ftBlk := c.blockAt[brIdx+1] // fallthrough block ("then")
+		tgtBlk := c.blockAt[in.Target]
+		if ftBlk == tgtBlk {
+			continue
+		}
+		thenB := &c.Blocks[ftBlk]
+		if thenB.Len() == 0 || thenB.Len() > maxBlockLen {
+			continue
+		}
+		if len(thenB.Preds) != 1 { // join point; cannot predicate
+			continue
+		}
+
+		// Form 1: if-then. then falls through into the branch target.
+		lastThen := p.At(thenB.End - 1)
+		if !lastThen.IsBranch() {
+			if thenB.End < p.Len() && c.blockAt[thenB.End] == tgtBlk && blockStraight(p, thenB, false) {
+				out = append(out, Hammock{Kind: IfThen, Head: bi, Branch: brIdx, Then: ftBlk, Else: -1, Join: tgtBlk})
+			}
+			continue
+		}
+
+		// Forms 2 and 3 require the then block to end in an unconditional
+		// direct branch with an otherwise straight-line body.
+		if lastThen.Op != isa.OpBr || lastThen.IsConditional() || !blockStraight(p, thenB, true) {
+			continue
+		}
+
+		// Form 2: diamond. then ends with an unconditional br to join;
+		// branch target is the else block, which falls through to join.
+		elseB := &c.Blocks[tgtBlk]
+		joinIdx := lastThen.Target
+		isDiamond := elseB.Len() > 0 && elseB.Len() <= maxBlockLen &&
+			len(elseB.Preds) == 1 && !p.At(elseB.End-1).IsBranch() &&
+			blockStraight(p, elseB, false) &&
+			elseB.End < p.Len() && c.blockAt[elseB.End] == c.blockAt[joinIdx]
+		if isDiamond {
+			out = append(out, Hammock{Kind: Diamond, Head: bi, Branch: brIdx, Then: ftBlk, Else: tgtBlk, Join: c.blockAt[joinIdx]})
+			continue
+		}
+
+		// Form 3: exit. The head branch skips straight to the block after
+		// then, and then's trailing unconditional br leaves the region
+		// (it is not the diamond join). If-conversion guards the body and
+		// turns that br into a conditional region-branch.
+		if c.blockAt[joinIdx] != tgtBlk && thenB.End < p.Len() && c.blockAt[thenB.End] == tgtBlk {
+			out = append(out, Hammock{Kind: Exit, Head: bi, Branch: brIdx, Then: ftBlk, Else: -1, Join: tgtBlk})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Branch < out[j].Branch })
+	return out
+}
+
+// blockStraight reports whether every instruction in the block (optionally
+// excluding the final one) is predicable: no branches, no halts.
+func blockStraight(p *Program, b *Block, skipLast bool) bool {
+	end := b.End
+	if skipLast {
+		end--
+	}
+	for i := b.Start; i < end; i++ {
+		in := p.At(i)
+		if in.IsBranch() || in.Op == isa.OpHalt {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot renders the CFG in Graphviz format (debugging aid).
+func (c *CFG) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", c.Prog.Name)
+	for i := range c.Blocks {
+		blk := &c.Blocks[i]
+		fmt.Fprintf(&b, "  B%d [label=\"B%d [%d,%d)\"];\n", i, i, blk.Start, blk.End)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "  B%d -> B%d;\n", i, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

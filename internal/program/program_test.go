@@ -1,0 +1,217 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestResolveLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("start").MovI(1, 1).Br("start")
+	p := b.Program()
+	if p.At(1).Target != 0 {
+		t.Errorf("target = %d, want 0", p.At(1).Target)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	p := New("bad")
+	p.Append(isa.Inst{Op: isa.OpBr, Label: "nowhere"})
+	p.Append(isa.Inst{Op: isa.OpHalt})
+	if err := p.Resolve(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestValidateFallOffEnd(t *testing.T) {
+	p := New("fall")
+	p.Append(isa.Inst{Op: isa.OpMovI, Rd: 1, Imm: 1})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for program that falls off the end")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New("empty").Validate(); err == nil {
+		t.Fatal("expected error for empty program")
+	}
+}
+
+func TestValidateTargetRange(t *testing.T) {
+	p := New("range")
+	p.Append(isa.Inst{Op: isa.OpBr, Target: 99})
+	p.Append(isa.Inst{Op: isa.OpHalt})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for out-of-range target")
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := NewBuilder("orig")
+	b.Label("l").MovI(1, 1).Br("l")
+	p := b.Program()
+	q := p.Clone()
+	q.Insts[0].Imm = 2
+	q.Labels["extra"] = 0
+	if p.Insts[0].Imm != 1 {
+		t.Error("clone shares instruction storage")
+	}
+	if _, ok := p.Labels["extra"]; ok {
+		t.Error("clone shares label map")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := NewBuilder("mix")
+	b.MovI(1, 1).
+		CmpI(isa.RelEQ, isa.CmpUnc, 1, 2, 1, 1).
+		G(1).Br("end").
+		G(2).MovI(3, 3).
+		Load(4, 1, 0).
+		Store(1, 0, 4).
+		FAdd(1, 2, 3).
+		Label("end").Halt()
+	p := b.Program()
+	s := p.Summarize()
+	if s.Compares != 1 || s.CondBr != 1 || s.Branches != 1 {
+		t.Errorf("branch/cmp counts wrong: %+v", s)
+	}
+	if s.Predicated != 1 {
+		t.Errorf("predicated = %d, want 1", s.Predicated)
+	}
+	if s.Loads != 1 || s.Stores != 1 || s.FP != 1 {
+		t.Errorf("mem/fp counts wrong: %+v", s)
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	b := NewBuilder("dis")
+	b.Label("entry").MovI(1, 5).Br("entry")
+	p := b.Program()
+	d := p.Disassemble()
+	if !strings.Contains(d, "entry:") || !strings.Contains(d, "movi r1 = 5") {
+		t.Errorf("disassembly:\n%s", d)
+	}
+}
+
+func TestGuardAppliesOnce(t *testing.T) {
+	b := NewBuilder("g")
+	b.G(5).MovI(1, 1).MovI(2, 2).Halt()
+	p := b.Program()
+	if p.At(0).QP != 5 {
+		t.Error("guard not applied")
+	}
+	if p.At(1).QP != isa.P0 {
+		t.Error("guard leaked to second instruction")
+	}
+}
+
+func buildDiamond(t *testing.T) *Program {
+	t.Helper()
+	// if (r1 == 0) { r2 = 1 } else { r2 = 2 }; r3 = r2
+	b := NewBuilder("diamond")
+	b.CmpI(isa.RelNE, isa.CmpUnc, 1, 2, 1, 0). // p1 = (r1 != 0)
+							G(1).Br("else").
+							MovI(2, 1).
+							Br("join").
+							Label("else").MovI(2, 2).
+							Label("join").Mov(3, 2).
+							Halt()
+	return b.Program()
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	p := buildDiamond(t)
+	cfg := BuildCFG(p)
+	// Blocks: head [0,2), then [2,4), else [4,5), join [5,7)
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %v", len(cfg.Blocks), cfg.Blocks)
+	}
+	head := cfg.Blocks[0]
+	if len(head.Succs) != 2 {
+		t.Fatalf("head succs = %v", head.Succs)
+	}
+	join := cfg.Blocks[cfg.BlockOf(5)]
+	if len(join.Preds) != 2 {
+		t.Errorf("join preds = %v", join.Preds)
+	}
+}
+
+func TestFindHammocksDiamond(t *testing.T) {
+	p := buildDiamond(t)
+	cfg := BuildCFG(p)
+	hs := cfg.FindHammocks(8)
+	if len(hs) != 1 {
+		t.Fatalf("hammocks = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if h.Else == -1 {
+		t.Error("expected diamond form")
+	}
+	if h.Branch != 1 {
+		t.Errorf("branch idx = %d, want 1", h.Branch)
+	}
+}
+
+func TestFindHammocksIfThen(t *testing.T) {
+	// if (r1 != 0) skip; r2 = 1; end:
+	b := NewBuilder("ifthen")
+	b.CmpI(isa.RelNE, isa.CmpUnc, 1, 2, 1, 0).
+		G(1).Br("end").
+		MovI(2, 1).
+		MovI(3, 2).
+		Label("end").Halt()
+	p := b.Program()
+	cfg := BuildCFG(p)
+	hs := cfg.FindHammocks(8)
+	if len(hs) != 1 {
+		t.Fatalf("hammocks = %d, want 1", len(hs))
+	}
+	if hs[0].Else != -1 {
+		t.Error("expected if-then form")
+	}
+}
+
+func TestFindHammocksRejectsBigBlocks(t *testing.T) {
+	b := NewBuilder("big")
+	b.CmpI(isa.RelNE, isa.CmpUnc, 1, 2, 1, 0).
+		G(1).Br("end")
+	for i := 0; i < 20; i++ {
+		b.MovI(2, int64(i))
+	}
+	b.Label("end").Halt()
+	p := b.Program()
+	cfg := BuildCFG(p)
+	if hs := cfg.FindHammocks(8); len(hs) != 0 {
+		t.Errorf("oversized hammock accepted: %v", hs)
+	}
+	if hs := cfg.FindHammocks(32); len(hs) != 1 {
+		t.Errorf("hammock within limit rejected: %v", hs)
+	}
+}
+
+func TestFindHammocksRejectsLoops(t *testing.T) {
+	// A loop back-edge is not a hammock.
+	b := NewBuilder("loop")
+	b.MovI(1, 10).
+		Label("top").
+		SubI(1, 1, 1).
+		CmpI(isa.RelGT, isa.CmpUnc, 1, 2, 1, 0).
+		G(1).Br("top").
+		Halt()
+	p := b.Program()
+	cfg := BuildCFG(p)
+	if hs := cfg.FindHammocks(8); len(hs) != 0 {
+		t.Errorf("loop misdetected as hammock: %v", hs)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	p := buildDiamond(t)
+	d := BuildCFG(p).Dot()
+	if !strings.Contains(d, "digraph") || !strings.Contains(d, "B0 -> B1") {
+		t.Errorf("dot output:\n%s", d)
+	}
+}

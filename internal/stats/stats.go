@@ -1,0 +1,288 @@
+// Package stats runs the paper's experiments over the benchmark suite
+// and formats the resulting tables and figures: Figure 5 (branch
+// misprediction on non-if-converted code), Figure 6a (if-converted
+// code, three predictors), Figure 6b (early-resolved vs correlation
+// breakdown), the §4.2/§4.3 idealized variants, and the ablations
+// motivated by the §3.3 design discussion.
+package stats
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/ifconvert"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+)
+
+// Run is the result of simulating one benchmark under one scheme.
+type Run struct {
+	Bench  string
+	Class  string
+	Scheme config.Scheme
+	Stats  pipeline.Stats
+	Err    error
+}
+
+// Programs caches the two binary sets of §4.1 for one benchmark:
+// compiled without predication transformations, and with if-conversion
+// enabled (profile-guided).
+type Programs struct {
+	Spec      bench.Spec
+	Plain     *program.Program
+	Converted *program.Program
+	Regions   int
+}
+
+// Prepare builds both binary sets for every benchmark.
+func Prepare(suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
+	out := make([]Programs, len(suite))
+	var wg sync.WaitGroup
+	errs := make([]error, len(suite))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range suite {
+		wg.Add(1)
+		go func(i int, s bench.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := bench.Build(s)
+			prof := ifconvert.ProfileProgram(p, profileSteps)
+			res, err := ifconvert.Convert(p, ifconvert.DefaultOptions(prof))
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", s.Name, err)
+				return
+			}
+			out[i] = Programs{Spec: s, Plain: p, Converted: res.Prog, Regions: len(res.Converted)}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Simulate runs one program under one configuration for a commit budget.
+func Simulate(cfg config.Config, p *program.Program, commits uint64) (pipeline.Stats, error) {
+	pl, err := pipeline.New(cfg, p)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if err := pl.Run(commits); err != nil {
+		return pl.Stats, err
+	}
+	return pl.Stats, nil
+}
+
+// RunMatrix simulates every benchmark under every scheme, in parallel.
+// ifConverted selects the binary set; mutate lets callers adjust each
+// configuration (idealizations, ablations).
+func RunMatrix(progs []Programs, schemes []config.Scheme, ifConverted bool,
+	commits uint64, mutate func(*config.Config)) []Run {
+
+	var runs []Run
+	for _, pg := range progs {
+		for _, s := range schemes {
+			runs = append(runs, Run{Bench: pg.Spec.Name, Class: pg.Spec.Class, Scheme: s})
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	k := 0
+	for _, pg := range progs {
+		p := pg.Plain
+		if ifConverted {
+			p = pg.Converted
+		}
+		for _, s := range schemes {
+			wg.Add(1)
+			go func(idx int, s config.Scheme, p *program.Program) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := config.Default().WithScheme(s)
+				if mutate != nil {
+					mutate(&cfg)
+				}
+				st, err := Simulate(cfg, p, commits)
+				runs[idx].Stats, runs[idx].Err = st, err
+			}(k, s, p)
+			k++
+		}
+	}
+	wg.Wait()
+	return runs
+}
+
+// Table organizes runs as benchmark rows × scheme columns of
+// misprediction rates (percent).
+type Table struct {
+	Title   string
+	Schemes []config.Scheme
+	Rows    []TableRow
+}
+
+// TableRow is one benchmark's misprediction rates per scheme.
+type TableRow struct {
+	Bench string
+	Class string
+	Rate  map[config.Scheme]float64 // percent
+	Runs  map[config.Scheme]pipeline.Stats
+}
+
+// Tabulate folds a run list into a Table.
+func Tabulate(title string, schemes []config.Scheme, runs []Run) (*Table, error) {
+	t := &Table{Title: title, Schemes: schemes}
+	byBench := map[string]*TableRow{}
+	var order []string
+	for _, r := range runs {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", r.Bench, r.Scheme, r.Err)
+		}
+		row := byBench[r.Bench]
+		if row == nil {
+			row = &TableRow{Bench: r.Bench, Class: r.Class,
+				Rate: map[config.Scheme]float64{}, Runs: map[config.Scheme]pipeline.Stats{}}
+			byBench[r.Bench] = row
+			order = append(order, r.Bench)
+		}
+		row.Rate[r.Scheme] = 100 * r.Stats.MispredictRate()
+		row.Runs[r.Scheme] = r.Stats
+	}
+	for _, n := range order {
+		t.Rows = append(t.Rows, *byBench[n])
+	}
+	return t, nil
+}
+
+// Average returns the arithmetic-mean misprediction rate for a scheme.
+func (t *Table) Average(s config.Scheme) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range t.Rows {
+		sum += r.Rate[s]
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// AccuracyDelta returns the average accuracy improvement (percentage
+// points) of scheme a over scheme b: rate(b) - rate(a).
+func (t *Table) AccuracyDelta(a, b config.Scheme) float64 {
+	return t.Average(b) - t.Average(a)
+}
+
+// Render formats the table in the paper's figure layout.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	fmt.Fprintf(&b, "%-10s", "benchmark")
+	for _, s := range t.Schemes {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteString("   best\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s", r.Bench)
+		best := t.Schemes[0]
+		for _, s := range t.Schemes {
+			fmt.Fprintf(&b, " %13.2f%%", r.Rate[s])
+			if r.Rate[s] < r.Rate[best] {
+				best = s
+			}
+		}
+		fmt.Fprintf(&b, "   %v\n", best)
+	}
+	fmt.Fprintf(&b, "%-10s", "AVG")
+	for _, s := range t.Schemes {
+		fmt.Fprintf(&b, " %13.2f%%", t.Average(s))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Wins counts benchmarks where scheme a has a strictly lower
+// misprediction rate than every other scheme in the table.
+func (t *Table) Wins(a config.Scheme) int {
+	n := 0
+	for _, r := range t.Rows {
+		best := true
+		for _, s := range t.Schemes {
+			if s != a && r.Rate[s] <= r.Rate[a] {
+				best = false
+			}
+		}
+		if best {
+			n++
+		}
+	}
+	return n
+}
+
+// Breakdown is the Figure 6b decomposition for one benchmark: the total
+// accuracy difference between the predicate scheme and the (shadow)
+// conventional predictor, split into the early-resolved contribution
+// and the remaining correlation contribution. Units are percentage
+// points of branch prediction accuracy.
+type Breakdown struct {
+	Bench       string
+	Total       float64
+	Early       float64
+	Correlation float64
+}
+
+// BreakdownTable computes Figure 6b from predicate-scheme runs (which
+// carry shadow conventional-predictor statistics).
+func BreakdownTable(runs []Run) ([]Breakdown, error) {
+	var out []Breakdown
+	for _, r := range runs {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Bench, r.Err)
+		}
+		if r.Scheme != config.SchemePredicate {
+			continue
+		}
+		st := r.Stats
+		if st.CondBranches == 0 {
+			continue
+		}
+		total := 100 * (st.ShadowMispredictRate() - st.MispredictRate())
+		early := 100 * float64(st.EarlyResolvedHit) / float64(st.CondBranches)
+		out = append(out, Breakdown{
+			Bench:       r.Bench,
+			Total:       total,
+			Early:       early,
+			Correlation: total - early,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bench < out[j].Bench })
+	return out, nil
+}
+
+// RenderBreakdown formats Figure 6b.
+func RenderBreakdown(rows []Breakdown) string {
+	var b strings.Builder
+	title := "Figure 6b: accuracy difference breakdown (predicate predictor vs conventional)"
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-10s %12s %18s %12s\n", "benchmark", "early-resvd", "correlation", "total")
+	var se, sc, st float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %11.2fpp %17.2fpp %11.2fpp\n", r.Bench, r.Early, r.Correlation, r.Total)
+		se += r.Early
+		sc += r.Correlation
+		st += r.Total
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-10s %11.2fpp %17.2fpp %11.2fpp\n", "AVG", se/n, sc/n, st/n)
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/pipeline"
+)
+
+// miniSuite picks a few representative benchmarks to keep test runtime
+// bounded; full-suite runs live in the benchmark harness.
+func miniSuite(t *testing.T) []Programs {
+	t.Helper()
+	suite := []bench.Spec{}
+	for _, name := range []string{"gzip", "vpr", "twolf", "swim"} {
+		s, err := bench.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, s)
+	}
+	progs, err := Prepare(suite, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+func TestPrepareBuildsBothBinaries(t *testing.T) {
+	progs := miniSuite(t)
+	for _, pg := range progs {
+		if pg.Plain == nil || pg.Converted == nil {
+			t.Fatalf("%s: missing binaries", pg.Spec.Name)
+		}
+		if pg.Regions == 0 {
+			t.Errorf("%s: no regions if-converted", pg.Spec.Name)
+		}
+		before := pg.Plain.Summarize()
+		after := pg.Converted.Summarize()
+		if after.CondBr >= before.CondBr {
+			t.Errorf("%s: if-conversion did not remove branches (%d -> %d)",
+				pg.Spec.Name, before.CondBr, after.CondBr)
+		}
+	}
+}
+
+func TestFig5ShapeMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	progs := miniSuite(t)
+	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	runs := RunMatrix(progs, schemes, false, 60000, nil)
+	tab, err := Tabulate("fig5-mini", schemes, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab.Render())
+	for _, r := range tab.Rows {
+		for _, s := range schemes {
+			if r.Rate[s] <= 0 || r.Rate[s] >= 60 {
+				t.Errorf("%s/%v: implausible misprediction rate %.2f%%", r.Bench, s, r.Rate[s])
+			}
+		}
+	}
+	// The headline shape: the predicate predictor should not lose on
+	// average (paper: +1.86% accuracy).
+	if d := tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional); d < -0.3 {
+		t.Errorf("predicate predictor loses by %.2fpp on average", -d)
+	}
+}
+
+func TestFig6ShapeMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	progs := miniSuite(t)
+	schemes := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	runs := RunMatrix(progs, schemes, true, 60000, nil)
+	tab, err := Tabulate("fig6a-mini", schemes, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab.Render())
+
+	bd, err := BreakdownTable(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderBreakdown(bd))
+	if len(bd) == 0 {
+		t.Fatal("no breakdown rows")
+	}
+	// Early-resolved contribution must be non-negative by construction.
+	for _, r := range bd {
+		if r.Early < 0 {
+			t.Errorf("%s: negative early-resolved contribution %v", r.Bench, r.Early)
+		}
+	}
+}
+
+func TestTabulateAndRender(t *testing.T) {
+	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	runs := []Run{
+		{Bench: "a", Class: "int", Scheme: config.SchemeConventional,
+			Stats: pipeline.Stats{CondBranches: 100, BranchMispred: 10}},
+		{Bench: "a", Class: "int", Scheme: config.SchemePredicate,
+			Stats: pipeline.Stats{CondBranches: 100, BranchMispred: 5}},
+	}
+	tab, err := Tabulate("t", schemes, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Average(config.SchemeConventional) != 10 {
+		t.Errorf("avg = %v", tab.Average(config.SchemeConventional))
+	}
+	if d := tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional); d != 5 {
+		t.Errorf("delta = %v", d)
+	}
+	if tab.Wins(config.SchemePredicate) != 1 {
+		t.Errorf("wins = %d", tab.Wins(config.SchemePredicate))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "10.00%") || !strings.Contains(out, "5.00%") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRunMatrixMutate(t *testing.T) {
+	progs := miniSuite(t)[:1]
+	one := []config.Scheme{config.SchemePredicate}
+	var sawMutate bool
+	runs := RunMatrix(progs, one, true, 40000, func(c *config.Config) {
+		sawMutate = true
+		c.DisableGHRRepair = true
+	})
+	if !sawMutate {
+		t.Fatal("mutate hook not called")
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Stats.Committed == 0 {
+			t.Error("no instructions committed")
+		}
+	}
+}
+
+func TestSimulateErrorsOnBadConfig(t *testing.T) {
+	progs := miniSuite(t)[:1]
+	cfg := config.Default()
+	cfg.ROBEntries = 1
+	if _, err := Simulate(cfg, progs[0].Plain, 100); err == nil {
+		t.Fatal("expected config validation error")
+	}
+}
+
+func TestBreakdownSkipsNonPredicateRuns(t *testing.T) {
+	runs := []Run{{Bench: "x", Scheme: config.SchemeConventional,
+		Stats: pipeline.Stats{CondBranches: 10}}}
+	bd, err := BreakdownTable(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd) != 0 {
+		t.Error("conventional runs must not appear in the breakdown")
+	}
+}
