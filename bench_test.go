@@ -1,18 +1,18 @@
 // Benchmark harness: one testing.B benchmark per table and figure of
 // the paper's evaluation (§4), plus the design-choice ablations and raw
-// simulator throughput. Each benchmark regenerates its figure at a
-// reduced commit budget and reports the headline comparison via
-// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the whole
-// evaluation. Use cmd/experiments for full-budget runs.
+// simulator throughput, all driven through the public repro/sim façade.
+// Each benchmark regenerates its figure at a reduced commit budget and
+// reports the headline comparison via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. Use
+// cmd/experiments for full-budget runs (recorded in EXPERIMENTS.md).
 package main
 
 import (
+	"context"
 	"sync"
 	"testing"
 
-	"repro/internal/bench"
-	"repro/internal/config"
-	"repro/internal/stats"
+	"repro/sim"
 )
 
 // benchCommits is the per-run commit budget for benchmark-harness runs;
@@ -22,14 +22,14 @@ const benchCommits = 60000
 
 var (
 	prepOnce sync.Once
-	prepped  []stats.Programs
+	prepped  *sim.Workload
 	prepErr  error
 )
 
-func suite(b *testing.B) []stats.Programs {
+func workload(b *testing.B) *sim.Workload {
 	b.Helper()
 	prepOnce.Do(func() {
-		prepped, prepErr = stats.Prepare(bench.Suite(), 150000)
+		prepped, prepErr = sim.PrepareWorkload(nil, 150000)
 	})
 	if prepErr != nil {
 		b.Fatal(prepErr)
@@ -37,10 +37,40 @@ func suite(b *testing.B) []stats.Programs {
 	return prepped
 }
 
+// figure runs one benchmark × scheme matrix through the façade and
+// returns the results in matrix order.
+func figure(b *testing.B, wl *sim.Workload, schemes []string, ifConverted bool, mutate func(*sim.Config)) []sim.Result {
+	b.Helper()
+	exp, err := sim.New(
+		sim.WithWorkload(wl),
+		sim.WithSchemes(schemes...),
+		sim.WithIfConversion(ifConverted),
+		sim.WithCommits(benchCommits),
+		sim.WithConfigMutator(mutate),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := exp.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+func tabulate(b *testing.B, title string, schemes []string, rs []sim.Result) *sim.Table {
+	b.Helper()
+	tab, err := sim.Tabulate(title, schemes, rs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
 // BenchmarkTable1Config regenerates Table 1 (architectural parameters).
 func BenchmarkTable1Config(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := config.Default()
+		cfg := sim.DefaultConfig()
 		if err := cfg.Validate(); err != nil {
 			b.Fatal(err)
 		}
@@ -53,63 +83,54 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkFigure5 regenerates Figure 5: conventional vs predicate
 // predictor on the non-if-converted binaries.
 func BenchmarkFigure5(b *testing.B) {
-	progs := suite(b)
-	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	wl := workload(b)
+	schemes := []string{"conventional", "predpred"}
 	for i := 0; i < b.N; i++ {
-		runs := stats.RunMatrix(progs, schemes, false, benchCommits, nil)
-		tab, err := stats.Tabulate("fig5", schemes, runs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(tab.Average(config.SchemeConventional), "conv-mispred-%")
-		b.ReportMetric(tab.Average(config.SchemePredicate), "predpred-mispred-%")
-		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "accuracy-gain-pp")
+		runs := figure(b, wl, schemes, false, nil)
+		tab := tabulate(b, "fig5", schemes, runs)
+		b.ReportMetric(tab.Average("conventional"), "conv-mispred-%")
+		b.ReportMetric(tab.Average("predpred"), "predpred-mispred-%")
+		b.ReportMetric(tab.AccuracyDelta("predpred", "conventional"), "accuracy-gain-pp")
 	}
 }
 
 // BenchmarkFigure5Ideal regenerates the §4.2 idealized experiment
 // (no alias conflicts, perfect global-history update).
 func BenchmarkFigure5Ideal(b *testing.B) {
-	progs := suite(b)
-	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	wl := workload(b)
+	schemes := []string{"conventional", "predpred"}
 	for i := 0; i < b.N; i++ {
-		runs := stats.RunMatrix(progs, schemes, false, benchCommits, func(c *config.Config) {
+		runs := figure(b, wl, schemes, false, func(c *sim.Config) {
 			c.IdealNoAlias, c.IdealPerfectGHR = true, true
 		})
-		tab, err := stats.Tabulate("fig5ideal", schemes, runs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "ideal-gain-pp")
+		tab := tabulate(b, "fig5ideal", schemes, runs)
+		b.ReportMetric(tab.AccuracyDelta("predpred", "conventional"), "ideal-gain-pp")
 	}
 }
 
 // BenchmarkFigure6a regenerates Figure 6a: PEP-PA vs conventional vs
 // predicate predictor on the if-converted binaries.
 func BenchmarkFigure6a(b *testing.B) {
-	progs := suite(b)
-	schemes := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	wl := workload(b)
+	schemes := []string{"peppa", "conventional", "predpred"}
 	for i := 0; i < b.N; i++ {
-		runs := stats.RunMatrix(progs, schemes, true, benchCommits, nil)
-		tab, err := stats.Tabulate("fig6a", schemes, runs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(tab.Average(config.SchemePEPPA), "peppa-mispred-%")
-		b.ReportMetric(tab.Average(config.SchemeConventional), "conv-mispred-%")
-		b.ReportMetric(tab.Average(config.SchemePredicate), "predpred-mispred-%")
-		b.ReportMetric(float64(tab.Wins(config.SchemePredicate)), "predpred-wins")
+		runs := figure(b, wl, schemes, true, nil)
+		tab := tabulate(b, "fig6a", schemes, runs)
+		b.ReportMetric(tab.Average("peppa"), "peppa-mispred-%")
+		b.ReportMetric(tab.Average("conventional"), "conv-mispred-%")
+		b.ReportMetric(tab.Average("predpred"), "predpred-mispred-%")
+		b.ReportMetric(float64(tab.Wins("predpred")), "predpred-wins")
 	}
 }
 
 // BenchmarkFigure6b regenerates Figure 6b: the early-resolved vs
 // correlation breakdown of the accuracy difference.
 func BenchmarkFigure6b(b *testing.B) {
-	progs := suite(b)
-	one := []config.Scheme{config.SchemePredicate}
+	wl := workload(b)
+	one := []string{"predpred"}
 	for i := 0; i < b.N; i++ {
-		runs := stats.RunMatrix(progs, one, true, benchCommits, nil)
-		bd, err := stats.BreakdownTable(runs)
+		runs := figure(b, wl, one, true, nil)
+		bd, err := sim.BreakdownTable(runs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,40 +148,35 @@ func BenchmarkFigure6b(b *testing.B) {
 // BenchmarkFigure6Ideal regenerates the §4.3 idealized experiment on
 // if-converted binaries.
 func BenchmarkFigure6Ideal(b *testing.B) {
-	progs := suite(b)
-	schemes := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
+	wl := workload(b)
+	schemes := []string{"conventional", "predpred"}
 	for i := 0; i < b.N; i++ {
-		runs := stats.RunMatrix(progs, schemes, true, benchCommits, func(c *config.Config) {
+		runs := figure(b, wl, schemes, true, func(c *sim.Config) {
 			c.IdealNoAlias, c.IdealPerfectGHR = true, true
 		})
-		tab, err := stats.Tabulate("fig6ideal", schemes, runs)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional), "ideal-gain-pp")
+		tab := tabulate(b, "fig6ideal", schemes, runs)
+		b.ReportMetric(tab.AccuracyDelta("predpred", "conventional"), "ideal-gain-pp")
 	}
 }
 
-// ablationSubset picks the six ablation benchmarks.
-func ablationSubset(b *testing.B) []stats.Programs {
-	var out []stats.Programs
-	for _, pg := range suite(b) {
-		switch pg.Spec.Name {
-		case "gzip", "vpr", "twolf", "parser", "swim", "mesa":
-			out = append(out, pg)
-		}
+// ablationWorkload picks the six ablation benchmarks.
+func ablationWorkload(b *testing.B) *sim.Workload {
+	b.Helper()
+	sub, err := workload(b).Subset("gzip", "vpr", "twolf", "parser", "swim", "mesa")
+	if err != nil {
+		b.Fatal(err)
 	}
-	return out
+	return sub
 }
 
 // BenchmarkAblationSplitPVT compares the shared PVT with two hash
 // functions against a statically split PVT (§3.3).
 func BenchmarkAblationSplitPVT(b *testing.B) {
-	progs := ablationSubset(b)
-	one := []config.Scheme{config.SchemePredicate}
+	wl := ablationWorkload(b)
+	one := []string{"predpred"}
 	for i := 0; i < b.N; i++ {
-		shared := stats.RunMatrix(progs, one, true, benchCommits, nil)
-		split := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) { c.SplitPVT = true })
+		shared := figure(b, wl, one, true, nil)
+		split := figure(b, wl, one, true, func(c *sim.Config) { c.SplitPVT = true })
 		var a, s float64
 		for j := range shared {
 			a += 100 * shared[j].Stats.MispredictRate()
@@ -175,12 +191,12 @@ func BenchmarkAblationSplitPVT(b *testing.B) {
 // BenchmarkAblationSelectivePredication compares selective predication
 // against the select-µop baseline on IPC (§3.2).
 func BenchmarkAblationSelectivePredication(b *testing.B) {
-	progs := ablationSubset(b)
-	one := []config.Scheme{config.SchemePredicate}
+	wl := ablationWorkload(b)
+	one := []string{"predpred"}
 	for i := 0; i < b.N; i++ {
-		sel := stats.RunMatrix(progs, one, true, benchCommits, nil)
-		base := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) {
-			c.Predication = config.PredicationSelect
+		sel := figure(b, wl, one, true, nil)
+		base := figure(b, wl, one, true, func(c *sim.Config) {
+			c.Predication = sim.PredicationSelect
 		})
 		var a, s float64
 		for j := range sel {
@@ -194,11 +210,11 @@ func BenchmarkAblationSelectivePredication(b *testing.B) {
 // BenchmarkAblationGHRCorruption measures the cost of speculative
 // global-history corruption against the perfect-GHR idealization (§3.3).
 func BenchmarkAblationGHRCorruption(b *testing.B) {
-	progs := ablationSubset(b)
-	one := []config.Scheme{config.SchemePredicate}
+	wl := ablationWorkload(b)
+	one := []string{"predpred"}
 	for i := 0; i < b.N; i++ {
-		spec := stats.RunMatrix(progs, one, true, benchCommits, nil)
-		perf := stats.RunMatrix(progs, one, true, benchCommits, func(c *config.Config) { c.IdealPerfectGHR = true })
+		spec := figure(b, wl, one, true, nil)
+		perf := figure(b, wl, one, true, func(c *sim.Config) { c.IdealPerfectGHR = true })
 		var a, p float64
 		for j := range spec {
 			a += 100 * spec[j].Stats.MispredictRate()
@@ -211,21 +227,25 @@ func BenchmarkAblationGHRCorruption(b *testing.B) {
 // BenchmarkPipelineThroughput measures raw simulator speed (committed
 // instructions per wall second) for each scheme on one benchmark.
 func BenchmarkPipelineThroughput(b *testing.B) {
-	progs := suite(b)
-	var vpr stats.Programs
-	for _, pg := range progs {
-		if pg.Spec.Name == "vpr" {
-			vpr = pg
-		}
+	prog, err := sim.BuildBenchmark("vpr")
+	if err != nil {
+		b.Fatal(err)
 	}
-	for _, s := range []config.Scheme{config.SchemeConventional, config.SchemePredicate, config.SchemePEPPA} {
+	for _, s := range []string{"conventional", "predpred", "peppa"} {
 		s := s
-		b.Run(s.String(), func(b *testing.B) {
+		b.Run(s, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cfg := config.Default().WithScheme(s)
-				if _, err := stats.Simulate(cfg, vpr.Plain, 50000); err != nil {
+				res, err := sim.SimulateProgram(context.Background(), sim.ProgramRun{
+					Program: prog,
+					Scheme:  s,
+					Commits: 50000,
+				})
+				if err != nil {
 					b.Fatal(err)
+				}
+				if res.Stats.Committed < 50000 {
+					b.Fatal("short run")
 				}
 			}
 			b.ReportMetric(50000*float64(b.N)/b.Elapsed().Seconds(), "commits/s")

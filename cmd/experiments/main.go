@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the
-// paper's evaluation section (§4):
+// paper's evaluation section (§4) through the public repro/sim façade:
 //
 //	-table1    Table 1, the architectural parameters
 //	-fig5      Figure 5: misprediction rates, non-if-converted binaries
@@ -10,20 +10,92 @@
 //	-ablate    design-choice ablations from §3.2/§3.3
 //	-all       everything above
 //
+// -format json|csv streams every run as machine-readable records
+// (tagged with the figure name) instead of the text tables; -v prints
+// per-run progress to stderr. Runs are cancellable with ^C.
+//
 // Absolute rates depend on the synthetic SPEC2000 stand-in suite (see
 // DESIGN.md); the comparisons and their shapes are the reproduction
 // target, recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/bench"
-	"repro/internal/config"
-	"repro/internal/stats"
+	"repro/sim"
 )
+
+var (
+	two   = []string{"conventional", "predpred"}
+	three = []string{"peppa", "conventional", "predpred"}
+)
+
+// idealize is the §4.2/§4.3 configuration mutator.
+func idealize(c *sim.Config) { c.IdealNoAlias, c.IdealPerfectGHR = true, true }
+
+// driver carries the shared pieces every figure run needs.
+type driver struct {
+	ctx      context.Context
+	workload *sim.Workload
+	commits  uint64
+	verbose  bool
+	sink     sim.Sink // non-nil in machine-readable mode
+}
+
+// run executes one tagged benchmark × scheme matrix and returns the
+// results in matrix order, streaming them into the machine-readable
+// sink when one is installed.
+func (d *driver) run(tag string, schemes []string, ifConverted bool, mutate func(*sim.Config)) []sim.Result {
+	opts := []sim.Option{
+		sim.WithWorkload(d.workload),
+		sim.WithTag(tag),
+		sim.WithSchemes(schemes...),
+		sim.WithIfConversion(ifConverted),
+		sim.WithCommits(d.commits),
+		sim.WithConfigMutator(mutate),
+	}
+	if d.verbose {
+		opts = append(opts, sim.WithProgress(func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "[%s %d/%d] %s/%s\n", tag, p.Done, p.Total, p.Bench, p.Scheme)
+		}))
+	}
+	exp, err := sim.New(opts...)
+	if err != nil {
+		d.fatal(err)
+	}
+	runner, err := exp.Start(d.ctx)
+	if err != nil {
+		d.fatal(err)
+	}
+	var results []sim.Result
+	for r := range runner.Results() {
+		// Stream each record into the machine-readable sink as it
+		// completes, so ^C mid-matrix still leaves the finished runs
+		// on stdout.
+		if d.sink != nil {
+			if err := d.sink.Emit(r); err != nil {
+				d.fatal(err)
+			}
+		}
+		results = append(results, r)
+	}
+	if err := runner.Wait(); err != nil {
+		d.fatal(err)
+	}
+	sim.SortResults(results)
+	return results
+}
+
+// text reports only in text mode, so machine-readable output stays pure.
+func (d *driver) text(format string, args ...any) {
+	if d.sink == nil {
+		fmt.Printf(format, args...)
+	}
+}
 
 func main() {
 	var (
@@ -37,6 +109,8 @@ func main() {
 		all       = flag.Bool("all", false, "run everything")
 		commits   = flag.Uint64("n", 300000, "committed instructions per run")
 		profSteps = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
+		format    = flag.String("format", "text", "output format: text | json | csv")
+		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
 	)
 	flag.Parse()
 	if *all {
@@ -47,147 +121,186 @@ func main() {
 		os.Exit(2)
 	}
 
+	d := &driver{commits: *commits, verbose: *verbose}
+	switch *format {
+	case "text":
+	case "json":
+		d.sink = sim.NewJSONSink(os.Stdout)
+	case "csv":
+		d.sink = sim.NewCSVSink(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
+	}
+
 	if *table1 {
-		fmt.Println(config.Default().Table1())
+		d.text("%s\n", sim.DefaultConfig().Table1())
 	}
 
 	needSim := *fig5 || *fig5ideal || *fig6a || *fig6b || *fig6ideal || *ablate
 	if !needSim {
 		return
 	}
-	progs, err := stats.Prepare(bench.Suite(), *profSteps)
-	if err != nil {
-		fatal(err)
-	}
 
-	two := []config.Scheme{config.SchemeConventional, config.SchemePredicate}
-	three := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	d.ctx = ctx
+
+	wl, err := sim.PrepareWorkload(nil, *profSteps)
+	if err != nil {
+		d.fatal(err)
+	}
+	d.workload = wl
 
 	if *fig5 {
-		runs := stats.RunMatrix(progs, two, false, *commits, nil)
-		tab := mustTab("Figure 5: branch misprediction rate, NON-if-converted binaries", two, runs)
-		fmt.Println(tab.Render())
-		fmt.Printf("average accuracy increase of the predicate predictor: %+.2fpp (paper: +1.86%%)\n",
-			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
-		fmt.Printf("predicate predictor best on %d of %d benchmarks (paper: all but 3)\n\n",
-			tab.Wins(config.SchemePredicate), len(tab.Rows))
+		runs := d.run("fig5", two, false, nil)
+		tab := d.mustTab("Figure 5: branch misprediction rate, NON-if-converted binaries", two, runs)
+		d.text("%s\n", tab.Render())
+		d.text("average accuracy increase of the predicate predictor: %+.2fpp (paper: +1.86%%)\n",
+			tab.AccuracyDelta("predpred", "conventional"))
+		d.text("predicate predictor best on %d of %d benchmarks, %d ties (paper: all but 3)\n\n",
+			tab.Wins("predpred"), len(tab.Rows), tab.Ties("predpred"))
 	}
 
 	if *fig5ideal {
-		runs := stats.RunMatrix(progs, two, false, *commits, func(c *config.Config) {
-			c.IdealNoAlias, c.IdealPerfectGHR = true, true
-		})
-		tab := mustTab("§4.2 idealized (no aliasing, perfect global history), NON-if-converted", two, runs)
-		fmt.Println(tab.Render())
-		fmt.Printf("idealized accuracy increase: %+.2fpp (paper: +2.24%%, consistent across all benchmarks)\n\n",
-			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
+		runs := d.run("fig5ideal", two, false, idealize)
+		tab := d.mustTab("§4.2 idealized (no aliasing, perfect global history), NON-if-converted", two, runs)
+		d.text("%s\n", tab.Render())
+		d.text("idealized accuracy increase: %+.2fpp (paper: +2.24%%, consistent across all benchmarks)\n\n",
+			tab.AccuracyDelta("predpred", "conventional"))
 	}
 
-	var fig6runs []stats.Run
+	// Figures 6a and 6b share one run matrix; tag it for whichever
+	// figure(s) were actually requested.
+	var fig6runs []sim.Result
 	if *fig6a || *fig6b {
-		fig6runs = stats.RunMatrix(progs, three, true, *commits, nil)
+		tag := "fig6a"
+		switch {
+		case *fig6a && *fig6b:
+			tag = "fig6a+fig6b"
+		case *fig6b:
+			tag = "fig6b"
+		}
+		fig6runs = d.run(tag, three, true, nil)
 	}
 
 	if *fig6a {
-		tab := mustTab("Figure 6a: branch misprediction rate, IF-CONVERTED binaries", three, fig6runs)
-		fmt.Println(tab.Render())
-		fmt.Printf("average accuracy increase vs best other scheme: %+.2fpp (paper: +1.5%%)\n",
-			tab.AccuracyDelta(config.SchemePredicate, bestOther(tab)))
-		fmt.Printf("predicate predictor best on %d of %d benchmarks (paper: all but twolf)\n\n",
-			tab.Wins(config.SchemePredicate), len(tab.Rows))
+		tab := d.mustTab("Figure 6a: branch misprediction rate, IF-CONVERTED binaries", three, fig6runs)
+		d.text("%s\n", tab.Render())
+		d.text("average accuracy increase vs best other scheme: %+.2fpp (paper: +1.5%%)\n",
+			tab.AccuracyDelta("predpred", bestOther(tab)))
+		d.text("predicate predictor best on %d of %d benchmarks, %d ties (paper: all but twolf)\n\n",
+			tab.Wins("predpred"), len(tab.Rows), tab.Ties("predpred"))
 	}
 
 	if *fig6b {
-		bd, err := stats.BreakdownTable(fig6runs)
+		bd, err := sim.BreakdownTable(fig6runs)
 		if err != nil {
-			fatal(err)
+			d.fatal(err)
 		}
-		fmt.Println(stats.RenderBreakdown(bd))
-		fmt.Println("paper: +1.0pp correlation, +0.5pp early-resolved on average;")
-		fmt.Println("the correlation bar also absorbs the scheme's negative effects (§4.3)")
-		fmt.Println()
+		d.text("%s\n", sim.RenderBreakdown(bd))
+		d.text("paper: +1.0pp correlation, +0.5pp early-resolved on average;\n")
+		d.text("the correlation bar also absorbs the scheme's negative effects (§4.3)\n\n")
 	}
 
 	if *fig6ideal {
-		runs := stats.RunMatrix(progs, two, true, *commits, func(c *config.Config) {
-			c.IdealNoAlias, c.IdealPerfectGHR = true, true
-		})
-		tab := mustTab("§4.3 idealized (no aliasing, perfect global history), IF-CONVERTED", two, runs)
-		fmt.Println(tab.Render())
-		fmt.Printf("idealized accuracy increase: %+.2fpp (paper: ~+2%%, consistent improvement)\n\n",
-			tab.AccuracyDelta(config.SchemePredicate, config.SchemeConventional))
+		runs := d.run("fig6ideal", two, true, idealize)
+		tab := d.mustTab("§4.3 idealized (no aliasing, perfect global history), IF-CONVERTED", two, runs)
+		d.text("%s\n", tab.Render())
+		d.text("idealized accuracy increase: %+.2fpp (paper: ~+2%%, consistent improvement)\n\n",
+			tab.AccuracyDelta("predpred", "conventional"))
 	}
 
 	if *ablate {
-		runAblations(progs, *commits)
+		runAblations(d)
+	}
+
+	if d.sink != nil {
+		if err := d.sink.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 // bestOther returns the non-predicate scheme with the lowest average
 // rate in the table.
-func bestOther(t *stats.Table) config.Scheme {
-	best := config.SchemeConventional
+func bestOther(t *sim.Table) string {
+	best := "conventional"
 	for _, s := range t.Schemes {
-		if s != config.SchemePredicate && t.Average(s) < t.Average(best) {
+		if s != "predpred" && t.Average(s) < t.Average(best) {
 			best = s
 		}
 	}
 	return best
 }
 
+// ablationSchemes registers the §3.2/§3.3 design-choice variants as
+// derived schemes — the registry path, no enum edits — and returns
+// their names keyed by ablation.
+func ablationSchemes() (split, selectOnly string) {
+	split, selectOnly = "predpred-splitpvt", "predpred-selectonly"
+	// Ignore duplicate-registration errors so -ablate can run twice in
+	// one process (e.g. under tests).
+	_ = sim.RegisterScheme(sim.SchemeSpec{
+		Name: split, Base: "predpred",
+		Doc:       "predicate predictor with a statically split PVT (§3.3)",
+		Configure: func(c *sim.Config) { c.SplitPVT = true },
+	})
+	_ = sim.RegisterScheme(sim.SchemeSpec{
+		Name: selectOnly, Base: "predpred",
+		Doc:       "predicate predictor with select-µop predication only (§3.2 baseline)",
+		Configure: func(c *sim.Config) { c.Predication = sim.PredicationSelect },
+	})
+	return split, selectOnly
+}
+
 // runAblations exercises the §3.2/§3.3 design choices on a benchmark
 // subset: shared-PVT-with-two-hashes vs split PVT, selective
 // predication vs select µops (IPC), confidence counter width, and the
-// GHR corruption effect (perfect-GHR on/off).
-func runAblations(progs []stats.Programs, commits uint64) {
-	subset := progs[:0:0]
-	for _, pg := range progs {
-		switch pg.Spec.Name {
-		case "gzip", "vpr", "twolf", "parser", "swim", "mesa":
-			subset = append(subset, pg)
-		}
+// GHR corruption effect (repair on/off).
+func runAblations(d *driver) {
+	subset, err := d.workload.Subset("gzip", "vpr", "twolf", "parser", "swim", "mesa")
+	if err != nil {
+		d.fatal(err)
 	}
-	one := []config.Scheme{config.SchemePredicate}
+	sd := &driver{ctx: d.ctx, workload: subset, commits: d.commits, verbose: d.verbose, sink: d.sink}
+	splitScheme, selectScheme := ablationSchemes()
+	one := []string{"predpred"}
 
-	fmt.Println("Ablation 1: shared PVT + two hash functions vs statically split PVT (§3.3)")
-	shared := stats.RunMatrix(subset, one, true, commits, nil)
-	split := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.SplitPVT = true })
-	_ = split
-	tabShared := mustTab("  shared", one, shared)
-	tabSplit := mustTab("  split", one, split)
-	fmt.Printf("%-10s %10s %10s\n", "benchmark", "shared", "split")
-	for i, r := range tabShared.Rows {
-		fmt.Printf("%-10s %9.2f%% %9.2f%%\n", r.Bench,
-			r.Rate[config.SchemePredicate], tabSplit.Rows[i].Rate[config.SchemePredicate])
+	d.text("Ablation 1: shared PVT + two hash functions vs statically split PVT (§3.3)\n")
+	both := sd.run("ablate-pvt", []string{"predpred", splitScheme}, true, nil)
+	tab := sd.mustTab("  pvt", []string{"predpred", splitScheme}, both)
+	d.text("%-10s %10s %10s\n", "benchmark", "shared", "split")
+	for _, r := range tab.Rows {
+		d.text("%-10s %9.2f%% %9.2f%%\n", r.Bench, r.Rate["predpred"], r.Rate[splitScheme])
 	}
-	fmt.Printf("%-10s %9.2f%% %9.2f%%  (shared should not be worse: it avoids wasting rows on p0 destinations)\n\n",
-		"AVG", tabShared.Average(config.SchemePredicate), tabSplit.Average(config.SchemePredicate))
+	d.text("%-10s %9.2f%% %9.2f%%  (shared should not be worse: it avoids wasting rows on p0 destinations)\n\n",
+		"AVG", tab.Average("predpred"), tab.Average(splitScheme))
 
-	fmt.Println("Ablation 2: selective predication vs select-µop baseline (IPC on if-converted code, §3.2)")
-	selective := stats.RunMatrix(subset, one, true, commits, nil)
-	selOnly := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) {
-		c.Predication = config.PredicationSelect
-	})
-	fmt.Printf("%-10s %10s %10s %8s\n", "benchmark", "selective", "select", "speedup")
+	d.text("Ablation 2: selective predication vs select-µop baseline (IPC on if-converted code, §3.2)\n")
+	pair := sd.run("ablate-predication", []string{"predpred", selectScheme}, true, nil)
+	ipcTab := sd.mustTab("  predication", []string{"predpred", selectScheme}, pair)
+	d.text("%-10s %10s %10s %8s\n", "benchmark", "selective", "select", "speedup")
 	var sSel, sBase float64
-	for i := range selective {
-		a, b := selective[i].Stats.IPC(), selOnly[i].Stats.IPC()
+	for _, r := range ipcTab.Rows {
+		selSt, baseSt := r.Runs["predpred"], r.Runs[selectScheme]
+		a, b := selSt.IPC(), baseSt.IPC()
 		sSel += a
 		sBase += b
-		fmt.Printf("%-10s %10.3f %10.3f %7.1f%%\n", selective[i].Bench, a, b, 100*(a/b-1))
+		d.text("%-10s %10.3f %10.3f %7.1f%%\n", r.Bench, a, b, 100*(a/b-1))
 	}
-	fmt.Printf("%-10s %10.3f %10.3f %7.1f%%\n", "AVG",
-		sSel/float64(len(selective)), sBase/float64(len(selOnly)), 100*(sSel/sBase-1))
-	fmt.Println("  note: the paper cites +11% IPC from [16] against weaker predication")
-	fmt.Println("  baselines (e.g. predict-all + selective replay); our baseline is already")
-	fmt.Println("  an efficient select-µop scheme, so the recovery cost of mispredicted")
-	fmt.Println("  confident predicates dominates here (see EXPERIMENTS.md).")
-	fmt.Println()
+	n := float64(len(ipcTab.Rows))
+	d.text("%-10s %10.3f %10.3f %7.1f%%\n", "AVG", sSel/n, sBase/n, 100*(sSel/sBase-1))
+	d.text("  note: the paper cites +11%% IPC from [16] against weaker predication\n")
+	d.text("  baselines (e.g. predict-all + selective replay); our baseline is already\n")
+	d.text("  an efficient select-µop scheme, so the recovery cost of mispredicted\n")
+	d.text("  confident predicates dominates here (see EXPERIMENTS.md).\n\n")
 
-	fmt.Println("Ablation 3: confidence counter width (selective predication aggressiveness)")
-	fmt.Printf("%-6s %12s %12s %12s %10s\n", "bits", "mispred", "cancelled", "selectops", "IPC")
+	d.text("Ablation 3: confidence counter width (selective predication aggressiveness)\n")
+	d.text("%-6s %12s %12s %12s %10s\n", "bits", "mispred", "cancelled", "selectops", "IPC")
 	for _, bits := range []uint{1, 2, 3, 4} {
-		runs := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.ConfBits = bits })
+		bits := bits
+		runs := sd.run(fmt.Sprintf("ablate-conf%d", bits), one, true,
+			func(c *sim.Config) { c.ConfBits = bits })
 		var mis, ipc float64
 		var can, sel uint64
 		for _, r := range runs {
@@ -197,30 +310,40 @@ func runAblations(progs []stats.Programs, commits uint64) {
 			sel += r.Stats.SelectOps
 		}
 		n := float64(len(runs))
-		fmt.Printf("%-6d %11.2f%% %12d %12d %10.3f\n", bits, mis/n, can, sel, ipc/n)
+		d.text("%-6d %11.2f%% %12d %12d %10.3f\n", bits, mis/n, can, sel, ipc/n)
 	}
-	fmt.Println()
+	d.text("\n")
 
-	fmt.Println("Ablation 4: global-history corruption (§3.3) — with and without the")
-	fmt.Println("recovery action that repairs a resolved compare's speculative GHR bit")
-	repaired := stats.RunMatrix(subset, one, true, commits, nil)
-	corrupted := stats.RunMatrix(subset, one, true, commits, func(c *config.Config) { c.DisableGHRRepair = true })
+	d.text("Ablation 4: global-history corruption (§3.3) — with and without the\n")
+	d.text("recovery action that repairs a resolved compare's speculative GHR bit\n")
+	repaired := sd.run("ablate-ghr-repaired", one, true, nil)
+	corrupted := sd.run("ablate-ghr-corrupted", one, true,
+		func(c *sim.Config) { c.DisableGHRRepair = true })
 	var a, b float64
 	for i := range repaired {
 		a += 100 * repaired[i].Stats.MispredictRate()
 		b += 100 * corrupted[i].Stats.MispredictRate()
 	}
-	n := float64(len(repaired))
-	fmt.Printf("with repair: %.2f%%   without repair: %.2f%%   corruption cost: %.2fpp (paper: <0.5pp residual)\n",
+	n = float64(len(repaired))
+	d.text("with repair: %.2f%%   without repair: %.2f%%   corruption cost: %.2fpp (paper: <0.5pp residual)\n",
 		a/n, b/n, b/n-a/n)
 }
 
-func mustTab(title string, schemes []config.Scheme, runs []stats.Run) *stats.Table {
-	t, err := stats.Tabulate(title, schemes, runs)
+func (d *driver) mustTab(title string, schemes []string, runs []sim.Result) *sim.Table {
+	t, err := sim.Tabulate(title, schemes, runs)
 	if err != nil {
-		fatal(err)
+		d.fatal(err)
 	}
 	return t
+}
+
+// fatal closes the machine-readable sink (flushing buffered rows —
+// including records that carry per-run errors) before exiting.
+func (d *driver) fatal(err error) {
+	if d.sink != nil {
+		d.sink.Close()
+	}
+	fatal(err)
 }
 
 func fatal(err error) {

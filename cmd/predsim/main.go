@@ -1,36 +1,40 @@
-// Command predsim runs one benchmark (or all of them) on the
+// Command predsim runs one benchmark (or an assembled file) on the
 // out-of-order pipeline under a chosen branch-prediction scheme and
-// prints the resulting statistics.
+// prints the resulting statistics. All simulation driving goes through
+// the public repro/sim façade; scheme names resolve against its
+// registry, so -scheme accepts anything sim.RegisterScheme added.
 //
 // Examples:
 //
 //	predsim -bench vpr -scheme predpred -ifconvert -n 300000
 //	predsim -bench twolf -scheme conventional
 //	predsim -list
+//	predsim -schemes
 //	predsim -disasm -bench gzip | head -50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/bench"
-	"repro/internal/config"
 	"repro/internal/ifconvert"
-	"repro/internal/pipeline"
 	"repro/internal/program"
+	"repro/sim"
 )
 
 func main() {
 	var (
 		asmFile   = flag.String("asm", "", "assemble and run this file instead of a suite benchmark")
 		benchName = flag.String("bench", "gzip", "benchmark name (see -list)")
-		scheme    = flag.String("scheme", "predpred", "prediction scheme: conventional | predpred | peppa")
+		scheme    = flag.String("scheme", "predpred", "prediction scheme (see -schemes)")
 		ifconv    = flag.Bool("ifconvert", false, "run the if-converted binary (profile-guided)")
 		commits   = flag.Uint64("n", 300000, "committed-instruction budget")
 		profile   = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
 		list      = flag.Bool("list", false, "list the benchmark suite and exit")
+		schemes   = flag.Bool("schemes", false, "list the registered prediction schemes and exit")
 		disasm    = flag.Bool("disasm", false, "disassemble the (possibly converted) binary and exit")
 		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
 		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
@@ -39,13 +43,20 @@ func main() {
 
 	if *list {
 		fmt.Printf("%-10s %-5s %6s %9s %9s %9s\n", "name", "class", "sites", "hardFrac", "hoistFrac", "arrayKB")
-		for _, s := range bench.Suite() {
+		for _, s := range sim.Benchmarks() {
 			fmt.Printf("%-10s %-5s %6d %9.2f %9.2f %9d\n", s.Name, s.Class, s.Sites, s.HardFrac, s.HoistFrac, s.ArrayKB)
 		}
 		return
 	}
+	if *schemes {
+		for _, n := range sim.SchemeNames() {
+			s, _ := sim.ResolveScheme(n)
+			fmt.Printf("%-14s %s\n", n, s.Doc)
+		}
+		return
+	}
 
-	var prog *program.Program
+	var prog *sim.Program
 	if *asmFile != "" {
 		text, err := os.ReadFile(*asmFile)
 		if err != nil {
@@ -56,11 +67,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		spec, err := bench.Find(*benchName)
+		var err error
+		prog, err = sim.BuildBenchmark(*benchName)
 		if err != nil {
 			fatal(err)
 		}
-		prog = bench.Build(spec)
 	}
 	if *ifconv {
 		prof := ifconvert.ProfileProgram(prog, *profile)
@@ -77,36 +88,32 @@ func main() {
 		return
 	}
 
-	cfg := config.Default()
-	switch *scheme {
-	case "conventional":
-		cfg = cfg.WithScheme(config.SchemeConventional)
-	case "predpred":
-		cfg = cfg.WithScheme(config.SchemePredicate)
-	case "peppa":
-		cfg = cfg.WithScheme(config.SchemePEPPA)
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	if _, ok := sim.ResolveScheme(*scheme); !ok {
+		fatal(fmt.Errorf("unknown scheme %q (registered: %v)", *scheme, sim.SchemeNames()))
 	}
-	if *ideal {
-		cfg.IdealNoAlias, cfg.IdealPerfectGHR = true, true
-	}
-	if *selectPr {
-		cfg.Predication = config.PredicationSelect
-	}
-
-	pl, err := pipeline.New(cfg, prog)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sim.SimulateProgram(ctx, sim.ProgramRun{
+		Program: prog,
+		Scheme:  *scheme,
+		Commits: *commits,
+		Mutate: func(c *sim.Config) {
+			if *ideal {
+				c.IdealNoAlias, c.IdealPerfectGHR = true, true
+			}
+			if *selectPr {
+				c.Predication = sim.PredicationSelect
+			}
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if err := pl.Run(*commits); err != nil {
-		fatal(err)
-	}
-	report(prog, pl)
+	report(prog, res)
 }
 
-func report(p *program.Program, pl *pipeline.Pipeline) {
-	st := pl.Stats
+func report(p *sim.Program, res sim.ProgramResult) {
+	st := res.Stats
 	sum := p.Summarize()
 	fmt.Printf("program: %s (%d instructions, %d static cond branches, %d compares, %d predicated)\n",
 		p.Name, sum.Total, sum.CondBr, sum.Compares, sum.Predicated)
@@ -127,9 +134,9 @@ func report(p *program.Program, pl *pipeline.Pipeline) {
 	if st.ShadowCondBranches > 0 {
 		fmt.Printf("shadow conventional predictor: %.2f%% mispredict rate\n", 100*st.ShadowMispredictRate())
 	}
-	h := pl.Hierarchy()
+	m := res.Mem
 	fmt.Printf("caches: L1I %.2f%%  L1D %.2f%%  L2 %.2f%% miss; %d load forwards\n",
-		100*h.L1I.MissRate(), 100*h.L1D.MissRate(), 100*h.L2.MissRate(), st.LoadForwards)
+		100*m.L1IMissRate(), 100*m.L1DMissRate(), 100*m.L2MissRate(), st.LoadForwards)
 }
 
 func max(a, b uint64) uint64 {

@@ -10,13 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/config"
 	"repro/internal/isa"
-	"repro/internal/pipeline"
 	"repro/internal/program"
+	"repro/sim"
 )
 
 // buildLoop returns a loop with an unpredictable branch. If hoisted,
@@ -74,15 +74,14 @@ func main() {
 	fmt.Printf("%-10s %12s %14s %16s %10s\n", "codegen", "mispredict", "early-resolved", "pred-flushes", "IPC")
 	for _, hoisted := range []bool{false, true} {
 		p := buildLoop(hoisted)
-		cfg := config.Default().WithScheme(config.SchemePredicate)
-		pl, err := pipeline.New(cfg, p)
+		res, err := sim.SimulateProgram(context.Background(), sim.ProgramRun{
+			Program: p,
+			Scheme:  "predpred",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pl.Run(0); err != nil {
-			log.Fatal(err)
-		}
-		st := pl.Stats
+		st := res.Stats
 		fmt.Printf("%-10s %11.2f%% %13.1f%% %16d %10.2f\n",
 			p.Name, 100*st.MispredictRate(),
 			100*float64(st.EarlyResolved)/float64(st.CondBranches),

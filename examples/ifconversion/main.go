@@ -6,23 +6,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"repro/internal/bench"
-	"repro/internal/config"
 	"repro/internal/ifconvert"
-	"repro/internal/pipeline"
-	"repro/internal/program"
+	"repro/sim"
 )
 
 func main() {
-	spec, err := bench.Find("parser")
+	plain, err := sim.BuildBenchmark("parser")
 	if err != nil {
 		log.Fatal(err)
 	}
-	plain := bench.Build(spec)
 
 	// Step 1: profile.
 	prof := ifconvert.ProfileProgram(plain, 200000)
@@ -60,7 +57,7 @@ func main() {
 
 	// Step 3: accuracy of each scheme on both binaries.
 	fmt.Printf("\n%-14s %16s %16s\n", "scheme", "plain binary", "if-converted")
-	for _, s := range []config.Scheme{config.SchemeConventional, config.SchemePEPPA, config.SchemePredicate} {
+	for _, s := range []string{"conventional", "peppa", "predpred"} {
 		a := run(s, plain)
 		c := run(s, res.Prog)
 		fmt.Printf("%-14v %15.2f%% %15.2f%%\n", s, a, c)
@@ -70,13 +67,14 @@ func main() {
 	fmt.Println("exploits early-resolved branches on the converted binary (§3.1).")
 }
 
-func run(s config.Scheme, p *program.Program) float64 {
-	pl, err := pipeline.New(config.Default().WithScheme(s), p)
+func run(scheme string, p *sim.Program) float64 {
+	res, err := sim.SimulateProgram(context.Background(), sim.ProgramRun{
+		Program: p,
+		Scheme:  scheme,
+		Commits: 120000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pl.Run(120000); err != nil {
-		log.Fatal(err)
-	}
-	return 100 * pl.Stats.MispredictRate()
+	return 100 * res.Stats.MispredictRate()
 }

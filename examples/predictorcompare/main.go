@@ -5,15 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"repro/internal/bench"
-	"repro/internal/config"
 	"repro/internal/ifconvert"
-	"repro/internal/pipeline"
-	"repro/internal/program"
+	"repro/sim"
 )
 
 func main() {
@@ -21,37 +19,37 @@ func main() {
 	commits := flag.Uint64("n", 200000, "committed instructions per run")
 	flag.Parse()
 
-	spec, err := bench.Find(*name)
+	plain, err := sim.BuildBenchmark(*name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plain := bench.Build(spec)
 	prof := ifconvert.ProfileProgram(plain, 200000)
 	res, err := ifconvert.Convert(plain, ifconvert.DefaultOptions(prof))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	schemes := []config.Scheme{config.SchemePEPPA, config.SchemeConventional, config.SchemePredicate}
+	schemes := []string{"peppa", "conventional", "predpred"}
 	for _, binary := range []struct {
 		label string
-		prog  *program.Program
+		prog  *sim.Program
 	}{
 		{"non-if-converted binary (Figure 5 conditions)", plain},
 		{fmt.Sprintf("if-converted binary, %d regions (Figure 6a conditions)", len(res.Converted)), res.Prog},
 	} {
-		fmt.Printf("\n=== %s: %s ===\n", spec.Name, binary.label)
+		fmt.Printf("\n=== %s: %s ===\n", *name, binary.label)
 		fmt.Printf("%-14s %10s %8s %8s %10s %10s %10s\n",
 			"scheme", "mispredict", "IPC", "early", "cancelled", "selectops", "flushes")
 		for _, s := range schemes {
-			pl, err := pipeline.New(config.Default().WithScheme(s), binary.prog)
+			run, err := sim.SimulateProgram(context.Background(), sim.ProgramRun{
+				Program: binary.prog,
+				Scheme:  s,
+				Commits: *commits,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := pl.Run(*commits); err != nil {
-				log.Fatal(err)
-			}
-			st := pl.Stats
+			st := run.Stats
 			fmt.Printf("%-14v %9.2f%% %8.2f %8d %10d %10d %10d\n",
 				s, 100*st.MispredictRate(), st.IPC(), st.EarlyResolved,
 				st.Cancelled, st.SelectOps,

@@ -1,18 +1,18 @@
 // Quickstart: build a small predicated program with the builder API,
 // run it functionally on the emulator, then run the same program on the
-// out-of-order pipeline under the paper's predicate-prediction scheme
-// and compare results.
+// out-of-order pipeline — driven through the public repro/sim façade —
+// under the paper's predicate-prediction scheme and compare results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/config"
 	"repro/internal/emulator"
 	"repro/internal/isa"
-	"repro/internal/pipeline"
 	"repro/internal/program"
+	"repro/sim"
 )
 
 func main() {
@@ -51,20 +51,20 @@ func main() {
 	em.Run(0)
 	fmt.Printf("\nemulator:  sum = %d in %d architectural steps\n", em.State.GPR[3], em.Steps)
 
-	// Cycle-level execution under the predicate predictor scheme.
-	cfg := config.Default().WithScheme(config.SchemePredicate)
-	pl, err := pipeline.New(cfg, prog)
+	// Cycle-level execution under the predicate predictor scheme,
+	// driven through the sim façade (Commits: 0 = run to halt).
+	res, err := sim.SimulateProgram(context.Background(), sim.ProgramRun{
+		Program: prog,
+		Scheme:  "predpred",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pl.Run(0); err != nil {
-		log.Fatal(err)
-	}
-	st := pl.Stats
-	fmt.Printf("pipeline:  sum = %d in %d cycles (IPC %.2f)\n", pl.ArchGPR(3), st.Cycles, st.IPC())
+	st := res.Stats
+	fmt.Printf("pipeline:  sum = %d in %d cycles (IPC %.2f)\n", res.GPR[3], st.Cycles, st.IPC())
 	fmt.Printf("branches:  %d conditional, %d mispredicted (%.1f%%), %d early-resolved\n",
 		st.CondBranches, st.BranchMispred, 100*st.MispredictRate(), st.EarlyResolved)
-	if pl.ArchGPR(3) != em.State.GPR[3] {
+	if res.GPR[3] != em.State.GPR[3] {
 		log.Fatal("pipeline and emulator disagree!")
 	}
 	fmt.Println("\npipeline matches the functional emulator — value-accurate execution.")

@@ -1,12 +1,19 @@
-// Package stats runs the paper's experiments over the benchmark suite
-// and formats the resulting tables and figures: Figure 5 (branch
-// misprediction on non-if-converted code), Figure 6a (if-converted
-// code, three predictors), Figure 6b (early-resolved vs correlation
-// breakdown), the §4.2/§4.3 idealized variants, and the ablations
-// motivated by the §3.3 design discussion.
+// Package stats is the internal experiment engine behind the public
+// repro/sim façade: it prepares the two binary sets of §4.1, runs
+// single simulations (optionally under a context for cancellation),
+// and folds run lists into the paper's tables and figures: Figure 5
+// (branch misprediction on non-if-converted code), Figure 6a
+// (if-converted code, three predictors), Figure 6b (early-resolved vs
+// correlation breakdown), the §4.2/§4.3 idealized variants, and the
+// ablations motivated by the §3.3 design discussion.
+//
+// External consumers (cmd/, examples/, the root benchmark harness)
+// should not import this package directly; they drive everything
+// through repro/sim.
 package stats
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,10 +28,13 @@ import (
 )
 
 // Run is the result of simulating one benchmark under one scheme.
+// Scheme is the scheme's display name (an enum String() or a
+// registry name from repro/sim), so tables work for predictor
+// organizations that are not part of the config.Scheme enum.
 type Run struct {
 	Bench  string
 	Class  string
-	Scheme config.Scheme
+	Scheme string
 	Stats  pipeline.Stats
 	Err    error
 }
@@ -70,63 +80,56 @@ func Prepare(suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
 	return out, nil
 }
 
-// Simulate runs one program under one configuration for a commit budget.
+// simChunk is the commit-budget slice between context checks in
+// SimulateContext: small enough that cancellation lands within
+// milliseconds, large enough that the check never shows up in a
+// profile.
+const simChunk = 16384
+
+// Simulate runs one program under one configuration for a commit
+// budget (0 = run to halt).
 func Simulate(cfg config.Config, p *program.Program, commits uint64) (pipeline.Stats, error) {
-	pl, err := pipeline.New(cfg, p)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	if err := pl.Run(commits); err != nil {
+	pl, err := SimulateContext(context.Background(), cfg, p, commits)
+	if pl != nil {
 		return pl.Stats, err
 	}
-	return pl.Stats, nil
+	return pipeline.Stats{}, err
 }
 
-// RunMatrix simulates every benchmark under every scheme, in parallel.
-// ifConverted selects the binary set; mutate lets callers adjust each
-// configuration (idealizations, ablations).
-func RunMatrix(progs []Programs, schemes []config.Scheme, ifConverted bool,
-	commits uint64, mutate func(*config.Config)) []Run {
-
-	var runs []Run
-	for _, pg := range progs {
-		for _, s := range schemes {
-			runs = append(runs, Run{Bench: pg.Spec.Name, Class: pg.Spec.Class, Scheme: s})
+// SimulateContext runs one program under one configuration in
+// commit-budget slices, checking ctx between slices so callers can
+// cancel a long simulation promptly (not just between runs). The
+// returned pipeline carries the statistics accumulated so far even
+// when the context was cancelled mid-run; it is nil only when the
+// configuration was rejected outright.
+func SimulateContext(ctx context.Context, cfg config.Config, p *program.Program, commits uint64) (*pipeline.Pipeline, error) {
+	pl, err := pipeline.New(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	for !pl.Halted() {
+		if err := ctx.Err(); err != nil {
+			return pl, err
+		}
+		next := pl.Stats.Committed + simChunk
+		if commits > 0 && next > commits {
+			next = commits
+		}
+		if err := pl.Run(next); err != nil {
+			return pl, err
+		}
+		if commits > 0 && pl.Stats.Committed >= commits {
+			break
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	k := 0
-	for _, pg := range progs {
-		p := pg.Plain
-		if ifConverted {
-			p = pg.Converted
-		}
-		for _, s := range schemes {
-			wg.Add(1)
-			go func(idx int, s config.Scheme, p *program.Program) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				cfg := config.Default().WithScheme(s)
-				if mutate != nil {
-					mutate(&cfg)
-				}
-				st, err := Simulate(cfg, p, commits)
-				runs[idx].Stats, runs[idx].Err = st, err
-			}(k, s, p)
-			k++
-		}
-	}
-	wg.Wait()
-	return runs
+	return pl, nil
 }
 
 // Table organizes runs as benchmark rows × scheme columns of
-// misprediction rates (percent).
+// misprediction rates (percent). Columns are keyed by scheme name.
 type Table struct {
 	Title   string
-	Schemes []config.Scheme
+	Schemes []string
 	Rows    []TableRow
 }
 
@@ -134,23 +137,44 @@ type Table struct {
 type TableRow struct {
 	Bench string
 	Class string
-	Rate  map[config.Scheme]float64 // percent
-	Runs  map[config.Scheme]pipeline.Stats
+	Rate  map[string]float64 // percent
+	Runs  map[string]pipeline.Stats
+}
+
+// Best returns the schemes sharing the row's lowest misprediction
+// rate, in table column order. More than one entry means an exact tie.
+// Schemes with no run in the row (partial result sets, e.g. after a
+// cancellation) are skipped, not treated as a 0% rate.
+func (r TableRow) Best(schemes []string) []string {
+	var best []string
+	for _, s := range schemes {
+		rate, ok := r.Rate[s]
+		if !ok {
+			continue
+		}
+		switch {
+		case len(best) == 0 || rate < r.Rate[best[0]]:
+			best = []string{s}
+		case rate == r.Rate[best[0]]:
+			best = append(best, s)
+		}
+	}
+	return best
 }
 
 // Tabulate folds a run list into a Table.
-func Tabulate(title string, schemes []config.Scheme, runs []Run) (*Table, error) {
+func Tabulate(title string, schemes []string, runs []Run) (*Table, error) {
 	t := &Table{Title: title, Schemes: schemes}
 	byBench := map[string]*TableRow{}
 	var order []string
 	for _, r := range runs {
 		if r.Err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", r.Bench, r.Scheme, r.Err)
+			return nil, fmt.Errorf("%s/%s: %w", r.Bench, r.Scheme, r.Err)
 		}
 		row := byBench[r.Bench]
 		if row == nil {
 			row = &TableRow{Bench: r.Bench, Class: r.Class,
-				Rate: map[config.Scheme]float64{}, Runs: map[config.Scheme]pipeline.Stats{}}
+				Rate: map[string]float64{}, Runs: map[string]pipeline.Stats{}}
 			byBench[r.Bench] = row
 			order = append(order, r.Bench)
 		}
@@ -164,7 +188,7 @@ func Tabulate(title string, schemes []config.Scheme, runs []Run) (*Table, error)
 }
 
 // Average returns the arithmetic-mean misprediction rate for a scheme.
-func (t *Table) Average(s config.Scheme) float64 {
+func (t *Table) Average(s string) float64 {
 	if len(t.Rows) == 0 {
 		return 0
 	}
@@ -177,11 +201,13 @@ func (t *Table) Average(s config.Scheme) float64 {
 
 // AccuracyDelta returns the average accuracy improvement (percentage
 // points) of scheme a over scheme b: rate(b) - rate(a).
-func (t *Table) AccuracyDelta(a, b config.Scheme) float64 {
+func (t *Table) AccuracyDelta(a, b string) float64 {
 	return t.Average(b) - t.Average(a)
 }
 
-// Render formats the table in the paper's figure layout.
+// Render formats the table in the paper's figure layout. The "best"
+// column names the scheme with the lowest rate on that row, or "tie"
+// when two or more schemes share the exact minimum.
 func (t *Table) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
@@ -192,14 +218,17 @@ func (t *Table) Render() string {
 	b.WriteString("   best\n")
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-10s", r.Bench)
-		best := t.Schemes[0]
 		for _, s := range t.Schemes {
 			fmt.Fprintf(&b, " %13.2f%%", r.Rate[s])
-			if r.Rate[s] < r.Rate[best] {
-				best = s
-			}
 		}
-		fmt.Fprintf(&b, "   %v\n", best)
+		best := r.Best(t.Schemes)
+		if len(best) > 1 {
+			fmt.Fprintf(&b, "   tie (%s)\n", strings.Join(best, "="))
+		} else if len(best) == 1 {
+			fmt.Fprintf(&b, "   %s\n", best[0])
+		} else {
+			b.WriteString("\n")
+		}
 	}
 	fmt.Fprintf(&b, "%-10s", "AVG")
 	for _, s := range t.Schemes {
@@ -210,18 +239,33 @@ func (t *Table) Render() string {
 }
 
 // Wins counts benchmarks where scheme a has a strictly lower
-// misprediction rate than every other scheme in the table.
-func (t *Table) Wins(a config.Scheme) int {
+// misprediction rate than every other scheme in the table. Exact ties
+// are not wins for either side — they are counted by Ties.
+func (t *Table) Wins(a string) int {
 	n := 0
 	for _, r := range t.Rows {
-		best := true
-		for _, s := range t.Schemes {
-			if s != a && r.Rate[s] <= r.Rate[a] {
-				best = false
-			}
-		}
-		if best {
+		best := r.Best(t.Schemes)
+		if len(best) == 1 && best[0] == a {
 			n++
+		}
+	}
+	return n
+}
+
+// Ties counts benchmarks where scheme a shares the row's exact minimum
+// misprediction rate with at least one other scheme.
+func (t *Table) Ties(a string) int {
+	n := 0
+	for _, r := range t.Rows {
+		best := r.Best(t.Schemes)
+		if len(best) < 2 {
+			continue
+		}
+		for _, s := range best {
+			if s == a {
+				n++
+				break
+			}
 		}
 	}
 	return n
@@ -239,19 +283,19 @@ type Breakdown struct {
 	Correlation float64
 }
 
-// BreakdownTable computes Figure 6b from predicate-scheme runs (which
-// carry shadow conventional-predictor statistics).
+// BreakdownTable computes Figure 6b from predicate-scheme runs. Runs
+// are selected semantically — only a predicate-predictor pipeline
+// accumulates shadow conventional-predictor statistics — so
+// registry-defined predicate variants are included without name
+// matching.
 func BreakdownTable(runs []Run) ([]Breakdown, error) {
 	var out []Breakdown
 	for _, r := range runs {
 		if r.Err != nil {
 			return nil, fmt.Errorf("%s: %w", r.Bench, r.Err)
 		}
-		if r.Scheme != config.SchemePredicate {
-			continue
-		}
 		st := r.Stats
-		if st.CondBranches == 0 {
+		if st.ShadowCondBranches == 0 || st.CondBranches == 0 {
 			continue
 		}
 		total := 100 * (st.ShadowMispredictRate() - st.MispredictRate())

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of simulating one benchmark under one scheme.
+type Result struct {
+	// Seq is the run's stable position in the experiment matrix
+	// (benchmark-major, scheme-minor); SortResults restores matrix
+	// order after streaming delivery.
+	Seq         int
+	Tag         string // experiment label from WithTag, "" if unset
+	Bench       string
+	Class       string
+	Scheme      string
+	IfConverted bool
+	Stats       Stats
+	Mem         MemStats
+	// Err is the per-run failure, if any; other runs keep streaming.
+	Err error
+}
+
+// MemStats is a snapshot of the cache hierarchy's counters at the end
+// of a run.
+type MemStats struct {
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2Accesses, L2Misses   uint64
+}
+
+func rate(miss, acc uint64) float64 {
+	if acc == 0 {
+		return 0
+	}
+	return float64(miss) / float64(acc)
+}
+
+// L1IMissRate returns instruction-cache misses per access.
+func (m MemStats) L1IMissRate() float64 { return rate(m.L1IMisses, m.L1IAccesses) }
+
+// L1DMissRate returns data-cache misses per access.
+func (m MemStats) L1DMissRate() float64 { return rate(m.L1DMisses, m.L1DAccesses) }
+
+// L2MissRate returns unified-L2 misses per access.
+func (m MemStats) L2MissRate() float64 { return rate(m.L2Misses, m.L2Accesses) }
+
+// Progress reports one completed run to a WithProgress callback.
+type Progress struct {
+	Done   int // runs completed so far, including this one
+	Total  int // runs in the experiment matrix
+	Bench  string
+	Scheme string
+	Err    error
+}
+
+// Runner is a started experiment: a bounded worker pool streaming
+// results over a channel as simulations complete.
+type Runner struct {
+	results chan Result
+	done    chan struct{}
+	total   int
+
+	mu  sync.Mutex
+	err error
+
+	// progressMu serializes the WithProgress callback (and guards the
+	// finished counter) without entangling user code with the state
+	// mutex above.
+	progressMu sync.Mutex
+	finished   int
+}
+
+// Results returns the stream of completed runs. The channel closes
+// once every run has finished or the context is cancelled; results
+// arrive in completion order, not matrix order (see SortResults).
+func (r *Runner) Results() <-chan Result { return r.results }
+
+// Total returns the number of runs in the experiment matrix.
+func (r *Runner) Total() int { return r.total }
+
+// Wait blocks until the worker pool has shut down and returns the
+// context's error if the run was cancelled. Per-run simulation
+// failures are reported on each Result, not here.
+func (r *Runner) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+type simJob struct {
+	seq    int
+	bench  string
+	class  string
+	scheme string
+	prog   *Program
+}
+
+// Start validates nothing further (New did), prepares the workload if
+// one was not supplied, and launches the worker pool under ctx.
+// Cancelling ctx stops workers promptly: queued runs are abandoned and
+// in-flight simulations stop at the next commit slice.
+func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
+	wl := e.workload
+	if wl == nil {
+		var err error
+		wl, err = PrepareWorkload(e.suite, e.profileSteps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var jobs []simJob
+	for _, pg := range wl.progs {
+		p := pg.Plain
+		if e.ifConverted {
+			p = pg.Converted
+		}
+		for _, s := range e.schemes {
+			jobs = append(jobs, simJob{
+				seq: len(jobs), bench: pg.Spec.Name, class: pg.Spec.Class,
+				scheme: s, prog: p,
+			})
+		}
+	}
+	r := &Runner{
+		results: make(chan Result, len(jobs)),
+		done:    make(chan struct{}),
+		total:   len(jobs),
+	}
+	k := e.parallelism
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > len(jobs) && len(jobs) > 0 {
+		k = len(jobs)
+	}
+	jobc := make(chan simJob)
+	go func() {
+		defer close(jobc)
+		for _, j := range jobs {
+			select {
+			case jobc <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				if ctx.Err() != nil {
+					return
+				}
+				res, ok := e.runJob(ctx, j)
+				if !ok { // cancelled mid-run: partial stats, drop it
+					return
+				}
+				r.results <- res
+				r.report(e.progress, res)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		// Report cancellation only when it actually cost us runs: a
+		// context cancelled after the last job finished is not an
+		// error for this experiment.
+		r.progressMu.Lock()
+		done := r.finished
+		r.progressMu.Unlock()
+		if done < r.total {
+			r.mu.Lock()
+			r.err = ctx.Err()
+			r.mu.Unlock()
+		}
+		close(r.results)
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// report serializes progress callbacks and the finished counter: the
+// callback runs under progressMu, so invocations never overlap and
+// Done values arrive monotonically.
+func (r *Runner) report(f func(Progress), res Result) {
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.finished++
+	if f != nil {
+		f(Progress{Done: r.finished, Total: r.total, Bench: res.Bench, Scheme: res.Scheme, Err: res.Err})
+	}
+}
+
+// runJob simulates one matrix cell. ok is false when the context was
+// cancelled mid-simulation and the partial result must be discarded.
+func (e *Experiment) runJob(ctx context.Context, j simJob) (Result, bool) {
+	res := Result{
+		Seq: j.seq, Tag: e.tag, Bench: j.bench, Class: j.class,
+		Scheme: j.scheme, IfConverted: e.ifConverted,
+	}
+	cfg, err := schemeConfig(j.scheme)
+	if err != nil {
+		res.Err = err
+		return res, true
+	}
+	if e.mutate != nil {
+		e.mutate(&cfg)
+	}
+	pl, err := stats.SimulateContext(ctx, cfg, j.prog, e.commits)
+	// Drop the result only when the simulation itself was cut short: a
+	// context cancelled after the run completed (err == nil, or a real
+	// pipeline error) still produced a full, reportable result.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return res, false
+	}
+	if pl != nil {
+		res.Stats = pl.Stats
+		res.Mem = captureMem(pl)
+	}
+	res.Err = err
+	return res, true
+}
+
+func captureMem(pl *pipeline.Pipeline) MemStats {
+	h := pl.Hierarchy()
+	return MemStats{
+		L1IAccesses: h.L1I.Stats.Accesses, L1IMisses: h.L1I.Stats.Misses,
+		L1DAccesses: h.L1D.Stats.Accesses, L1DMisses: h.L1D.Stats.Misses,
+		L2Accesses: h.L2.Stats.Accesses, L2Misses: h.L2.Stats.Misses,
+	}
+}
+
+// Run starts the experiment, drains the stream, and returns every
+// result in matrix order. It fails on cancellation but not on per-run
+// errors (inspect Result.Err, or let Tabulate surface them).
+func (e *Experiment) Run(ctx context.Context) ([]Result, error) {
+	r, err := e.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for res := range r.Results() {
+		out = append(out, res)
+	}
+	if err := r.Wait(); err != nil {
+		return out, err
+	}
+	SortResults(out)
+	return out, nil
+}
+
+// SortResults restores matrix order (benchmark-major, scheme-minor)
+// on a slice of streamed results.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Seq < rs[j].Seq })
+}
+
+// ProgramRun describes a single simulation of an arbitrary program —
+// the predsim/examples path, as opposed to the Experiment matrix.
+type ProgramRun struct {
+	Program *Program
+	Scheme  string        // registry scheme name
+	Commits uint64        // committed-instruction budget (0 = run to halt)
+	Mutate  func(*Config) // optional configuration adjustment
+}
+
+// ProgramResult is a single-program outcome, including the committed
+// architectural integer register file for functional checks.
+type ProgramResult struct {
+	Result
+	GPR [isa.NumGPR]int64
+}
+
+// SimulateProgram runs one program under one named scheme, honoring
+// ctx cancellation mid-run.
+func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
+	var out ProgramResult
+	if r.Program == nil {
+		return out, fmt.Errorf("sim: nil program")
+	}
+	out.Bench = r.Program.Name
+	out.Scheme = r.Scheme
+	cfg, err := schemeConfig(r.Scheme)
+	if err != nil {
+		return out, err
+	}
+	if r.Mutate != nil {
+		r.Mutate(&cfg)
+	}
+	pl, err := stats.SimulateContext(ctx, cfg, r.Program, r.Commits)
+	if pl != nil {
+		out.Stats = pl.Stats
+		out.Mem = captureMem(pl)
+		for i := 0; i < isa.NumGPR; i++ {
+			out.GPR[i] = pl.ArchGPR(isa.Reg(i))
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedResults is a deterministic result set covering a clean run, a
+// predicate-scheme run with shadow statistics, and a failed run.
+func fixedResults() []sim.Result {
+	return []sim.Result{
+		{
+			Seq: 0, Tag: "fig5", Bench: "gzip", Class: "int", Scheme: "conventional", IfConverted: false,
+			Stats: sim.Stats{
+				Cycles: 50000, Committed: 60000,
+				CondBranches: 10000, BranchMispred: 800,
+				EarlyResolved: 0,
+			},
+			Mem: sim.MemStats{
+				L1IAccesses: 120000, L1IMisses: 60,
+				L1DAccesses: 20000, L1DMisses: 400,
+				L2Accesses: 460, L2Misses: 46,
+			},
+		},
+		{
+			Seq: 1, Tag: "fig6a", Bench: "gzip", Class: "int", Scheme: "predpred", IfConverted: true,
+			Stats: sim.Stats{
+				Cycles: 48000, Committed: 60000,
+				CondBranches: 9000, BranchMispred: 540,
+				EarlyResolved: 1200, EarlyResolvedHit: 300,
+				PredPredictions: 8000, PredMispredicts: 640,
+				Cancelled: 700, Unguarded: 2100, SelectOps: 900,
+				ShadowCondBranches: 9000, ShadowMispred: 720,
+			},
+			Mem: sim.MemStats{
+				L1IAccesses: 118000, L1IMisses: 59,
+				L1DAccesses: 21000, L1DMisses: 420,
+				L2Accesses: 479, L2Misses: 47,
+			},
+		},
+		{
+			Seq: 2, Bench: "twolf", Class: "int", Scheme: "predpred", IfConverted: true,
+			Err: errors.New("config: fetch width 0 / ROB 4 too small"),
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestJSONSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sim.EmitAll(sim.NewJSONSink(&buf), fixedResults()); err != nil {
+		t.Fatal(err)
+	}
+	// NDJSON: one object per line, one line per result.
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Errorf("expected 3 NDJSON lines, got %d", n)
+	}
+	checkGolden(t, "results.ndjson.golden", buf.Bytes())
+}
+
+func TestCSVSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sim.EmitAll(sim.NewCSVSink(&buf), fixedResults()); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 4 { // header + 3 rows
+		t.Errorf("expected 4 CSV lines, got %d", n)
+	}
+	checkGolden(t, "results.csv.golden", buf.Bytes())
+}
+
+func TestTableSink(t *testing.T) {
+	rs := fixedResults()[:2] // drop the errored run: tables reject errors
+	var buf bytes.Buffer
+	sink := sim.NewTableSink(&buf, "sink table", []string{"conventional", "predpred"})
+	if err := sim.EmitAll(sink, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sink table") || !strings.Contains(out, "gzip") {
+		t.Errorf("table sink output:\n%s", out)
+	}
+	var errBuf bytes.Buffer
+	if err := sim.EmitAll(sim.NewTableSink(&errBuf, "t", []string{"predpred"}), fixedResults()); err == nil {
+		t.Error("table sink must surface per-run errors on Close")
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"repro/internal/stats"
+)
+
+// Table organizes results as benchmark rows × scheme columns of
+// misprediction rates, in the paper's figure layout. Exact ties for a
+// row's best scheme are reported explicitly (Render marks them "tie";
+// Wins excludes them; Ties counts them).
+type Table = stats.Table
+
+// TableRow is one benchmark's misprediction rates per scheme.
+type TableRow = stats.TableRow
+
+// Breakdown is one benchmark's Figure 6b decomposition: total accuracy
+// difference vs the shadow conventional predictor, split into the
+// early-resolved and correlation contributions (percentage points).
+type Breakdown = stats.Breakdown
+
+// runs converts streamed results into the engine's run records.
+func runs(rs []Result) []stats.Run {
+	out := make([]stats.Run, len(rs))
+	for i, r := range rs {
+		out[i] = stats.Run{Bench: r.Bench, Class: r.Class, Scheme: r.Scheme,
+			Stats: r.Stats, Err: r.Err}
+	}
+	return out
+}
+
+// Tabulate folds results into a Table with the given scheme columns.
+// It fails if any result carries a per-run error.
+func Tabulate(title string, schemes []string, rs []Result) (*Table, error) {
+	return stats.Tabulate(title, schemes, runs(rs))
+}
+
+// BreakdownTable computes the Figure 6b decomposition from
+// predicate-scheme results (others are skipped).
+func BreakdownTable(rs []Result) ([]Breakdown, error) {
+	return stats.BreakdownTable(runs(rs))
+}
+
+// RenderBreakdown formats Figure 6b.
+func RenderBreakdown(rows []Breakdown) string {
+	return stats.RenderBreakdown(rows)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+// Workload holds the two prepared binary sets of §4.1 — plain and
+// profile-guided if-converted — for a set of suite benchmarks.
+// Preparing is the expensive part of an experiment (build + profile +
+// convert per benchmark), so a Workload is built once and shared
+// across experiments via WithWorkload.
+type Workload struct {
+	progs []stats.Programs
+}
+
+// PrepareWorkload builds and profiles the named suite benchmarks in
+// parallel (nil or empty names = the full 22-benchmark suite).
+func PrepareWorkload(names []string, profileSteps uint64) (*Workload, error) {
+	var specs []bench.Spec
+	if len(names) == 0 {
+		specs = bench.Suite()
+	} else {
+		for _, n := range names {
+			s, err := bench.Find(n)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			specs = append(specs, s)
+		}
+	}
+	progs, err := stats.Prepare(specs, profileSteps)
+	if err != nil {
+		return nil, fmt.Errorf("sim: prepare workload: %w", err)
+	}
+	return &Workload{progs: progs}, nil
+}
+
+// Len returns the number of prepared benchmarks.
+func (w *Workload) Len() int { return len(w.progs) }
+
+// Names returns the prepared benchmark names in order.
+func (w *Workload) Names() []string {
+	names := make([]string, len(w.progs))
+	for i, pg := range w.progs {
+		names[i] = pg.Spec.Name
+	}
+	return names
+}
+
+// Regions returns how many hammock regions were if-converted for a
+// benchmark (0 for unknown names).
+func (w *Workload) Regions(name string) int {
+	for _, pg := range w.progs {
+		if pg.Spec.Name == name {
+			return pg.Regions
+		}
+	}
+	return 0
+}
+
+// Subset returns a Workload restricted to the named benchmarks, in
+// the given order, reusing the already-prepared binaries.
+func (w *Workload) Subset(names ...string) (*Workload, error) {
+	sub := &Workload{}
+	for _, n := range names {
+		found := false
+		for _, pg := range w.progs {
+			if pg.Spec.Name == n {
+				sub.progs = append(sub.progs, pg)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sim: workload has no benchmark %q", n)
+		}
+	}
+	return sub, nil
+}
