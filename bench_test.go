@@ -9,6 +9,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -19,6 +23,20 @@ import (
 // cmd/experiments defaults to 300k for the recorded EXPERIMENTS.md
 // numbers.
 const benchCommits = 60000
+
+// simMode selects the execution mode for the figure benchmarks:
+// `go test -bench=. -args -simmode=trace` regenerates every figure from
+// record-once traces instead of the cycle model.
+var simMode = flag.String("simmode", "pipeline", "figure benchmark execution mode: pipeline | trace")
+
+func benchMode(b *testing.B) sim.Mode {
+	b.Helper()
+	m, err := sim.ParseSingleMode(*simMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
 
 var (
 	prepOnce sync.Once
@@ -47,6 +65,7 @@ func figure(b *testing.B, wl *sim.Workload, schemes []string, ifConverted bool, 
 		sim.WithIfConversion(ifConverted),
 		sim.WithCommits(benchCommits),
 		sim.WithConfigMutator(mutate),
+		sim.WithMode(benchMode(b)),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -221,6 +240,83 @@ func BenchmarkAblationGHRCorruption(b *testing.B) {
 			p += 100 * perf[j].Stats.MispredictRate()
 		}
 		b.ReportMetric((a-p)/float64(len(spec)), "corruption-cost-pp")
+	}
+}
+
+// BenchmarkTraceVsPipeline measures simulated-instruction throughput of
+// both execution modes for each scheme on one benchmark, and writes the
+// comparison (with per-scheme speedups) to BENCH_trace.json so the perf
+// trajectory of the trace engine is tracked in-repo.
+func BenchmarkTraceVsPipeline(b *testing.B) {
+	prog, err := sim.BuildBenchmark("vpr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runCommits = 50000
+	schemes := []string{"conventional", "predpred", "peppa"}
+	dir := b.TempDir()
+	ips := map[string]map[string]float64{"pipeline": {}, "trace": {}}
+	for _, mode := range []sim.Mode{sim.ModePipeline, sim.ModeTrace} {
+		mode := mode
+		for _, s := range schemes {
+			s := s
+			b.Run(fmt.Sprintf("%s/%s", mode, s), func(b *testing.B) {
+				run := sim.ProgramRun{
+					Program: prog, Scheme: s, Commits: runCommits,
+					Mode: mode, TraceDir: dir,
+				}
+				if mode == sim.ModeTrace {
+					// Warm the trace cache: recording happens once per
+					// benchmark, replaying once per scheme × config.
+					if _, err := sim.SimulateProgram(context.Background(), run); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := sim.SimulateProgram(context.Background(), run)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Committed < runCommits-1 {
+						b.Fatalf("short run: %d", res.Stats.Committed)
+					}
+				}
+				v := runCommits * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(v, "instrs/s")
+				ips[mode.String()][s] = v
+			})
+		}
+	}
+	writeTraceBenchJSON(b, schemes, ips)
+}
+
+// writeTraceBenchJSON records both modes' instructions-per-second and
+// the resulting speedups.
+func writeTraceBenchJSON(b *testing.B, schemes []string, ips map[string]map[string]float64) {
+	b.Helper()
+	if len(ips["pipeline"]) == 0 || len(ips["trace"]) == 0 {
+		return // sub-benchmarks filtered out; nothing comparable
+	}
+	speedup := map[string]float64{}
+	for _, s := range schemes {
+		if p, t := ips["pipeline"][s], ips["trace"][s]; p > 0 && t > 0 {
+			speedup[s] = t / p
+		}
+	}
+	doc := map[string]any{
+		"benchmark":          "vpr",
+		"commits_per_run":    50000,
+		"instrs_per_second":  ips,
+		"trace_mode_speedup": speedup,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

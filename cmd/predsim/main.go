@@ -38,6 +38,7 @@ func main() {
 		disasm    = flag.Bool("disasm", false, "disassemble the (possibly converted) binary and exit")
 		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
 		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
+		mode      = flag.String("mode", "pipeline", "execution mode: pipeline (cycle model) or trace (record-once trace replay, accuracy stats only)")
 	)
 	flag.Parse()
 
@@ -91,12 +92,17 @@ func main() {
 	if _, ok := sim.ResolveScheme(*scheme); !ok {
 		fatal(fmt.Errorf("unknown scheme %q (registered: %v)", *scheme, sim.SchemeNames()))
 	}
+	m, err := sim.ParseSingleMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := sim.SimulateProgram(ctx, sim.ProgramRun{
 		Program: prog,
 		Scheme:  *scheme,
 		Commits: *commits,
+		Mode:    m,
 		Mutate: func(c *sim.Config) {
 			if *ideal {
 				c.IdealNoAlias, c.IdealPerfectGHR = true, true
@@ -117,23 +123,30 @@ func report(p *sim.Program, res sim.ProgramResult) {
 	sum := p.Summarize()
 	fmt.Printf("program: %s (%d instructions, %d static cond branches, %d compares, %d predicated)\n",
 		p.Name, sum.Total, sum.CondBr, sum.Compares, sum.Predicated)
-	fmt.Printf("cycles: %d  committed: %d  IPC: %.3f\n", st.Cycles, st.Committed, st.IPC())
+	if res.Mode == sim.ModeTrace {
+		fmt.Printf("mode: trace replay  committed: %d (no timing model)\n", st.Committed)
+	} else {
+		fmt.Printf("cycles: %d  committed: %d  IPC: %.3f\n", st.Cycles, st.Committed, st.IPC())
+	}
 	fmt.Printf("cond branches: %d  mispredicts: %d  rate: %.2f%%  accuracy: %.2f%%\n",
 		st.CondBranches, st.BranchMispred, 100*st.MispredictRate(), 100*st.Accuracy())
 	fmt.Printf("early-resolved: %d (%.1f%% of branches)\n",
 		st.EarlyResolved, 100*float64(st.EarlyResolved)/float64(max(st.CondBranches, 1)))
-	fmt.Printf("flushes: %d exec, %d predicate-consumer, %d override\n",
-		st.ExecFlushes, st.PredFlushes, st.OverrideFlushes)
 	if st.PredPredictions > 0 {
 		fmt.Printf("predicate predictions: %d  wrong: %d (%.2f%%)\n",
 			st.PredPredictions, st.PredMispredicts,
 			100*float64(st.PredMispredicts)/float64(st.PredPredictions))
 	}
-	fmt.Printf("predication: %d cancelled, %d unguarded, %d select µops\n",
-		st.Cancelled, st.Unguarded, st.SelectOps)
 	if st.ShadowCondBranches > 0 {
 		fmt.Printf("shadow conventional predictor: %.2f%% mispredict rate\n", 100*st.ShadowMispredictRate())
 	}
+	if res.Mode == sim.ModeTrace {
+		return // no pipeline machinery: flush, predication and cache counters do not exist
+	}
+	fmt.Printf("flushes: %d exec, %d predicate-consumer, %d override\n",
+		st.ExecFlushes, st.PredFlushes, st.OverrideFlushes)
+	fmt.Printf("predication: %d cancelled, %d unguarded, %d select µops\n",
+		st.Cancelled, st.Unguarded, st.SelectOps)
 	m := res.Mem
 	fmt.Printf("caches: L1I %.2f%%  L1D %.2f%%  L2 %.2f%% miss; %d load forwards\n",
 		100*m.L1IMissRate(), 100*m.L1DMissRate(), 100*m.L2MissRate(), st.LoadForwards)

@@ -163,6 +163,11 @@ type Emulator struct {
 	Steps uint64
 	// Halted is latched once OpHalt commits.
 	Halted bool
+	// StepHook, when non-nil, observes every executed instruction's
+	// StepInfo after its architectural effects have been applied. It is
+	// the recording seam for package trace; it is not invoked for the
+	// post-halt no-op records Step returns once Halted is latched.
+	StepHook func(StepInfo)
 }
 
 // New returns an emulator at PC 0 with fresh state.
@@ -304,6 +309,9 @@ func (e *Emulator) Step() StepInfo {
 
 	s.PC = nextPC
 	e.Steps++
+	if e.StepHook != nil {
+		e.StepHook(info)
+	}
 	return info
 }
 

@@ -244,6 +244,11 @@ func (pl *Pipeline) predGHR() uint64 {
 // instAddr maps an instruction index to its byte address.
 func instAddr(pc int) uint64 { return codeBase + uint64(pc)*instBytes }
 
+// InstAddr exposes the instruction-index → byte-address mapping so the
+// trace-driven replay engine indexes predictor tables exactly as the
+// pipeline does (same PC folding, same aliasing).
+func InstAddr(pc int) uint64 { return instAddr(pc) }
+
 // flushAfter squashes every uop with seq strictly greater than boundary,
 // restores rename and predictor state in reverse order, clears dangling
 // PPRF consumer pointers, and redirects fetch to newPC after penalty

@@ -1,0 +1,489 @@
+package stats
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/peppa"
+	"repro/internal/pipeline"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// replayChunk is the event-count slice between context checks during
+// trace replay (~100k instructions of typical event density, a few
+// milliseconds of replay).
+const replayChunk = 1 << 14
+
+// The replay engine's three timing-model constants. They stand in for
+// pipeline properties a functional trace cannot carry, and are
+// calibrated against full-pipeline runs of the suite (see the
+// equivalence test) rather than derived purely from the geometry:
+//
+//   - earlyResolveDist: committed-instruction compare→branch distance
+//     at or above which a branch is classified early-resolved (with a
+//     6-wide front end of depth 3 and single-cycle compares, a
+//     producer ~2+ fetch groups upstream has written back by the
+//     consumer's rename; compares stalled on loads resolve later);
+//
+//   - trainWindow: the fetch-to-commit lag in compares. The pipeline
+//     trains the predicate predictor at commit, so a fetched compare
+//     is predicted with weights missing the trainings of the compares
+//     still in flight (up to a ROB's worth on flush-free code);
+//
+//   - repairWindow: the fetch-to-writeback lag in compares. A
+//     compare's speculative GHR push carries its predicted value until
+//     the §3.3 repair at writeback, so the youngest few history bits
+//     seen by a prediction are predictions, not outcomes.
+//
+// Both windows collapse when a speculative consumer branch mispredicts
+// (the recovery flush refetches everything younger and stalls fetch
+// past the commit of the resolving compare), which is what keeps
+// mispredict-heavy code predicting with nearly-committed state — the
+// engine drains its queues at each scored branch misprediction to
+// reproduce that adaptivity.
+const (
+	earlyResolveDist uint64 = 32
+	trainWindow             = 48
+	repairWindow            = 8
+)
+
+// replayer is the trace-driven predictor engine: it replays a recorded
+// committed-instruction stream through one predictor organization in
+// commit order with immediate training, touching none of the
+// out-of-order machinery. See DESIGN.md ("Execution modes") for the
+// fidelity contract: commit-order predictor state evolution is exact
+// (wrong-path speculation is invisible to training, and speculative
+// history pushes resolve to committed outcomes), while effects that
+// depend on in-flight overlap — training delay between fetch and
+// commit, early-resolution timing — are modeled, not simulated.
+type replayer struct {
+	cfg config.Config
+
+	// Architectural predicate state reconstructed from compare records.
+	predVal [isa.NumPred]bool // committed value
+	prevVal [isa.NumPred]bool // value before the most recent write (PEP-PA's selector)
+
+	// PPRF prediction mirror: the predicted value a speculative
+	// consumer would read for each architectural predicate, the
+	// prediction's confidence, and the committed-instruction position
+	// of the renaming compare (for the resolution model).
+	predPred [isa.NumPred]bool
+	predConf [isa.NumPred]bool
+	prodStep [isa.NumPred]uint64 // 1 + step of the last renamer; 0 = none
+
+	step uint64 // committed-instruction position of the current event
+
+	// Scheme state (one second-level active, as in the pipeline).
+	twolevel *predictor.TwoLevel
+	pep      *peppa.Predictor
+	pp       *core.Predictor
+	pGHR     predictor.History // speculative-with-repair history mirror
+	retired  predictor.History // commit-order history (perfect-GHR idealization)
+
+	shadow    *predictor.TwoLevel // Figure 6b shadow (predicate scheme)
+	shadowGHR predictor.History
+
+	// Delayed-training queue and speculative-GHR ring (predicate
+	// scheme): see the timing-model constants above. Both are
+	// head-indexed queues compacted in place, so steady-state replay
+	// does not allocate.
+	trainQ     []pendingTrain
+	trainQHead int
+	ghrRing    []specBit
+	ringHead   int
+
+	ras  *predictor.RAS
+	itab *predictor.IndirectTable
+
+	st pipeline.Stats
+}
+
+// pendingTrain is one compare's deferred predicate-predictor training.
+type pendingTrain struct {
+	lk         core.Lookup
+	res1, res2 bool
+}
+
+// specBit is one unrepaired speculative GHR bit: the predicted value
+// while in flight, replaced by the actual value once the compare's
+// writeback repairs it (never, for rename-canceled compares or when
+// the §3.3 repair is disabled).
+type specBit struct {
+	pred, act bool
+	repair    bool
+}
+
+func newReplayer(cfg config.Config) (*replayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &replayer{
+		cfg:  cfg,
+		ras:  predictor.NewRAS(cfg.RASEntries),
+		itab: predictor.NewIndirectTable(10),
+	}
+	r.pGHR.N = cfg.L2PredGHRBits
+	r.retired.N = cfg.L2PredGHRBits
+	r.predVal[isa.P0] = true
+	r.prevVal[isa.P0] = true
+	r.predPred[isa.P0] = true
+	switch cfg.Scheme {
+	case config.SchemeConventional:
+		r.twolevel = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		r.twolevel.SetIdeal(cfg.IdealNoAlias)
+	case config.SchemePEPPA:
+		r.pep = peppa.New(peppa.DefaultConfig())
+	case config.SchemePredicate:
+		r.pp = core.New(core.Config{
+			SizeBytes: cfg.L2PredBytes,
+			GHRBits:   cfg.L2PredGHRBits,
+			LHRBits:   cfg.L2PredLHRBits,
+			LHTBits:   cfg.L2PredLHTBits,
+			ConfBits:  cfg.ConfBits,
+			Ideal:     cfg.IdealNoAlias,
+			SplitPVT:  cfg.SplitPVT,
+		})
+		r.shadow = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		r.shadowGHR.N = cfg.L2PredGHRBits
+	default:
+		return nil, fmt.Errorf("stats: unknown scheme %v", cfg.Scheme)
+	}
+	return r, nil
+}
+
+// Replay runs a recorded trace through the configured predictor
+// organization for a commit budget (0 = the whole trace).
+func Replay(cfg config.Config, tr *trace.Trace, commits uint64) (pipeline.Stats, error) {
+	return ReplayContext(context.Background(), cfg, tr, commits)
+}
+
+// ReplayContext is Replay under a context: cancellation is checked
+// every replayChunk events, so even a full-suite replay stops within
+// milliseconds of a cancel.
+func ReplayContext(ctx context.Context, cfg config.Config, tr *trace.Trace, commits uint64) (pipeline.Stats, error) {
+	r, err := newReplayer(cfg)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return r.st, err
+	}
+	cur := tr.EventCursor()
+	var ev trace.Event
+	var committed uint64
+	events := 0
+	halted := false
+	for cur.Next(&ev) {
+		committed += ev.Gap
+		if commits > 0 && committed >= commits {
+			committed = commits
+			break
+		}
+		// Markers are out-of-band: they carry gap but are not
+		// instructions themselves.
+		if ev.Kind != trace.EvMarker {
+			committed++
+			r.step = committed
+			r.apply(&ev)
+			if ev.Kind == trace.EvHalt {
+				halted = true
+				break
+			}
+		}
+		if commits > 0 && committed >= commits {
+			break
+		}
+		if events++; events%replayChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				r.st.Committed = committed
+				return r.st, err
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return r.st, err
+	}
+	r.st.Committed = committed
+	r.st.HaltSeen = halted
+	return r.st, nil
+}
+
+// apply replays one event against the predictor state.
+func (r *replayer) apply(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.EvCompare:
+		r.compare(ev)
+	case trace.EvCondBr:
+		r.condBranch(ev)
+	case trace.EvCall:
+		r.ras.Push(ev.PC + 1)
+	case trace.EvRet:
+		if r.ras.Pop() != ev.Target {
+			r.st.TargetMispred++
+		}
+	case trace.EvBrInd:
+		addr := pipeline.InstAddr(ev.PC)
+		predNext := r.itab.Predict(addr)
+		actualNext := ev.PC + 1
+		if ev.Taken {
+			actualNext = ev.Target
+		}
+		if predNext != actualNext {
+			r.st.TargetMispred++
+		}
+		r.itab.Update(addr, ev.Target)
+	}
+}
+
+// compare replays one predicate-producing compare: the predicate
+// predictor's lookup/training (predicate scheme), the GHR pushes with
+// the §3.3 repair semantics, and the architectural predicate update
+// every scheme's consumers observe.
+func (r *replayer) compare(ev *trace.Event) {
+	r.st.Compares++
+	canceled := false
+	if r.cfg.Scheme == config.SchemePredicate {
+		// Selective predication cancels a guarded compare when its
+		// guard is usable at rename — resolved, or confidently
+		// predicted — and false. A wrong confident cancellation is
+		// flushed and refetched with the resolved guard, so the
+		// committed outcome is always governed by the actual guard
+		// value. A non-usable false guard falls back to a select
+		// micro-op, which executes and trains on its read-modify-write
+		// result (unc compares always execute: they clear their
+		// destinations even when nullified — the pipeline's uncFalse
+		// path).
+		usable := r.guardResolved(ev.QP) || r.predConf[ev.QP]
+		canceled = r.cfg.Predication == config.PredicationSelective &&
+			ev.Guarded && !ev.QPTrue && !ev.Unc && usable
+
+		// Apply the trainings that have left the in-flight window, as
+		// commit would have by this compare's fetch, then predict with
+		// the (possibly stale) weights and speculative history.
+		for r.trainQLen() >= trainWindow {
+			r.popTraining()
+		}
+		ghr := r.specGHR()
+		if r.cfg.IdealPerfectGHR {
+			ghr = r.retired.Snapshot()
+		}
+		lk := r.pp.Predict(pipeline.InstAddr(ev.PC), ghr)
+
+		res1, res2 := r.resolve(ev)
+		if canceled {
+			// A rename-canceled compare never executes: its speculative
+			// GHR push is never repaired (and its speculative
+			// local-history push persists the same way — pp.Predict
+			// above mirrors it), and it never trains.
+			r.pushSpecBit(specBit{pred: lk.Val1, act: lk.Val1})
+		} else {
+			r.st.PredPredictions += 2
+			if lk.Val1 != res1 {
+				r.st.PredMispredicts++
+			}
+			if lk.Val2 != res2 {
+				r.st.PredMispredicts++
+			}
+			r.pushTraining(pendingTrain{lk: lk, res1: res1, res2: res2})
+			r.retired.Push(res1)
+			r.pushSpecBit(specBit{pred: lk.Val1, act: res1, repair: !r.cfg.DisableGHRRepair})
+			// Rename mirror: consumers read these predicted values
+			// (and their at-prediction confidence) until the compare
+			// resolves.
+			if ev.P1 != uint8(isa.P0) {
+				r.predPred[ev.P1] = lk.Val1
+				r.predConf[ev.P1] = lk.Conf1
+			}
+			if ev.P2 != uint8(isa.P0) {
+				r.predPred[ev.P2] = lk.Val2
+				r.predConf[ev.P2] = lk.Conf2
+			}
+		}
+	}
+	// Renaming position, for the resolution model (every scheme: without
+	// selective predication nothing cancels and every compare renames).
+	if !canceled {
+		if ev.P1 != uint8(isa.P0) {
+			r.prodStep[ev.P1] = r.step
+		}
+		if ev.P2 != uint8(isa.P0) {
+			r.prodStep[ev.P2] = r.step
+		}
+	}
+	// Architectural predicate update (after resolving RMW old values).
+	if ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
+		r.prevVal[ev.P1] = r.predVal[ev.P1]
+		r.predVal[ev.P1] = ev.Out.Val1
+	}
+	if ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
+		r.prevVal[ev.P2] = r.predVal[ev.P2]
+		r.predVal[ev.P2] = ev.Out.Val2
+	}
+}
+
+// resolve computes the compare's two training values exactly as the
+// pipeline's execute stage does: a written destination takes the
+// outcome value, an unwritten valid destination keeps its old
+// (read-modify-write) value, and a p0 destination trains on the raw
+// outcome value.
+func (r *replayer) resolve(ev *trace.Event) (bool, bool) {
+	res1, res2 := ev.Out.Val1, ev.Out.Val2
+	if !ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
+		res1 = r.predVal[ev.P1]
+	}
+	if !ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
+		res2 = r.predVal[ev.P2]
+	}
+	return res1, res2
+}
+
+// condBranch replays one committed conditional branch through the
+// active scheme.
+func (r *replayer) condBranch(ev *trace.Event) {
+	r.st.CondBranches++
+	addr := pipeline.InstAddr(ev.PC)
+	switch r.cfg.Scheme {
+	case config.SchemeConventional:
+		// Speculative and retired histories coincide in commit order
+		// (each committed branch contributes its committed outcome), so
+		// the perfect-GHR idealization is the identity here.
+		lk := r.twolevel.Predict(addr, r.pGHR.Snapshot())
+		if lk.Taken != ev.Taken {
+			r.st.BranchMispred++
+		}
+		r.twolevel.Train(lk, ev.Taken)
+		r.pGHR.Push(ev.Taken)
+		r.retired.Push(ev.Taken)
+	case config.SchemePEPPA:
+		// PEP-PA selects a local history by the branch guard's previous
+		// definition; whether the in-flight producer has written back
+		// by fetch time follows the same resolution model as
+		// early-resolution classification.
+		sel := r.prevVal[ev.QP]
+		if r.guardResolved(ev.QP) {
+			sel = r.predVal[ev.QP]
+		}
+		lk := r.pep.Predict(addr, sel)
+		if lk.Taken != ev.Taken {
+			r.st.BranchMispred++
+		}
+		r.pep.Update(lk, ev.Taken)
+	case config.SchemePredicate:
+		early := r.guardResolved(ev.QP)
+		if early {
+			// The branch read its guard's computed value from the PPRF:
+			// correct by construction (§3.1).
+			r.st.EarlyResolved++
+		} else if r.predPred[ev.QP] != ev.Taken {
+			// Speculative consumer of a wrong predicate prediction; the
+			// pipeline scores this at consumer-flush recovery. The
+			// recovery refetches everything younger and stalls fetch, so
+			// the in-flight windows collapse.
+			r.st.BranchMispred++
+			r.drainWindows()
+		}
+		// Shadow conventional predictor for the Figure 6b breakdown —
+		// predicted and trained at commit in the pipeline too, so this
+		// replication is exact.
+		slk := r.shadow.Predict(addr, r.shadowGHR.Snapshot())
+		r.st.ShadowCondBranches++
+		if slk.Taken != ev.Taken {
+			r.st.ShadowMispred++
+			if early {
+				r.st.EarlyResolvedHit++
+			}
+		}
+		r.shadow.Train(slk, ev.Taken)
+		r.shadowGHR.Push(ev.Taken)
+	}
+}
+
+func (r *replayer) trainQLen() int { return len(r.trainQ) - r.trainQHead }
+
+func (r *replayer) pushTraining(p pendingTrain) {
+	if r.trainQHead > 0 && len(r.trainQ) == cap(r.trainQ) {
+		n := copy(r.trainQ, r.trainQ[r.trainQHead:])
+		r.trainQ = r.trainQ[:n]
+		r.trainQHead = 0
+	}
+	r.trainQ = append(r.trainQ, p)
+}
+
+// popTraining applies the oldest deferred training.
+func (r *replayer) popTraining() {
+	p := r.trainQ[r.trainQHead]
+	r.trainQHead++
+	if r.trainQHead == len(r.trainQ) {
+		r.trainQ = r.trainQ[:0]
+		r.trainQHead = 0
+	}
+	r.pp.Train(p.lk, p.res1, p.res2)
+}
+
+// pushSpecBit appends a speculative history bit, evicting (and
+// repairing) the oldest once the writeback window is full.
+func (r *replayer) pushSpecBit(b specBit) {
+	if len(r.ghrRing)-r.ringHead >= repairWindow {
+		r.evictSpecBit()
+	}
+	if r.ringHead > 0 && len(r.ghrRing) == cap(r.ghrRing) {
+		n := copy(r.ghrRing, r.ghrRing[r.ringHead:])
+		r.ghrRing = r.ghrRing[:n]
+		r.ringHead = 0
+	}
+	r.ghrRing = append(r.ghrRing, b)
+}
+
+func (r *replayer) evictSpecBit() {
+	b := r.ghrRing[r.ringHead]
+	r.ringHead++
+	if r.ringHead == len(r.ghrRing) {
+		r.ghrRing = r.ghrRing[:0]
+		r.ringHead = 0
+	}
+	v := b.pred
+	if b.repair {
+		v = b.act
+	}
+	r.pGHR.Push(v)
+}
+
+// specGHR composes the history a fetched compare sees: repaired bits
+// beyond the writeback window, predicted bits inside it.
+func (r *replayer) specGHR() uint64 {
+	v := r.pGHR.Snapshot()
+	for _, b := range r.ghrRing[r.ringHead:] {
+		v <<= 1
+		if b.pred {
+			v |= 1
+		}
+	}
+	if n := r.pGHR.N; n < 64 {
+		v &= uint64(1)<<n - 1
+	}
+	return v
+}
+
+// drainWindows models a recovery flush: every pending training is
+// applied and every speculative history bit repaired.
+func (r *replayer) drainWindows() {
+	for r.trainQLen() > 0 {
+		r.popTraining()
+	}
+	for len(r.ghrRing)-r.ringHead > 0 {
+		r.evictSpecBit()
+	}
+}
+
+// guardResolved reports whether predicate p's producing compare is
+// modeled as resolved (written back) before the current instruction
+// renames: no in-flight producer, or a producer at least
+// earlyResolveDist committed instructions upstream.
+func (r *replayer) guardResolved(p uint8) bool {
+	last := r.prodStep[p]
+	return last == 0 || r.step-last >= earlyResolveDist
+}

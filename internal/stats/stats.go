@@ -47,10 +47,22 @@ type Programs struct {
 	Plain     *program.Program
 	Converted *program.Program
 	Regions   int
+	// Hammocks lists the if-converted regions; trace recording embeds
+	// them as region markers.
+	Hammocks []program.Hammock
 }
 
 // Prepare builds both binary sets for every benchmark.
 func Prepare(suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
+	return PrepareContext(context.Background(), suite, profileSteps)
+}
+
+// PrepareContext builds both binary sets for every benchmark in
+// parallel, honoring ctx: benchmarks not yet started when the context
+// is cancelled are skipped and the context's error is returned, so the
+// expensive preparation phase is cancellable like simulation already
+// is.
+func PrepareContext(ctx context.Context, suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
 	out := make([]Programs, len(suite))
 	var wg sync.WaitGroup
 	errs := make([]error, len(suite))
@@ -61,6 +73,10 @@ func Prepare(suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			p := bench.Build(s)
 			prof := ifconvert.ProfileProgram(p, profileSteps)
 			res, err := ifconvert.Convert(p, ifconvert.DefaultOptions(prof))
@@ -68,7 +84,8 @@ func Prepare(suite []bench.Spec, profileSteps uint64) ([]Programs, error) {
 				errs[i] = fmt.Errorf("%s: %w", s.Name, err)
 				return
 			}
-			out[i] = Programs{Spec: s, Plain: p, Converted: res.Prog, Regions: len(res.Converted)}
+			out[i] = Programs{Spec: s, Plain: p, Converted: res.Prog,
+				Regions: len(res.Converted), Hammocks: res.Converted}
 		}(i, s)
 	}
 	wg.Wait()

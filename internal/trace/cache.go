@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// EnvDir is the environment variable overriding the default on-disk
+// trace cache directory.
+const EnvDir = "PREDSIM_TRACE_DIR"
+
+// DefaultDir returns the trace cache directory: $PREDSIM_TRACE_DIR,
+// else the user cache dir, else a temp-dir fallback. The directory is
+// not created until Store needs it.
+func DefaultDir() string {
+	if d := os.Getenv(EnvDir); d != "" {
+		return d
+	}
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "predsim", "traces")
+	}
+	return filepath.Join(os.TempDir(), "predsim-traces")
+}
+
+// Key derives a stable cache key from its parts (benchmark spec,
+// profile budget, binary variant, program hash, format version — the
+// caller decides). Any part changing changes the key.
+func Key(parts ...string) string {
+	h := sha256.Sum256([]byte(magic + "\x00" + strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h[:16])
+}
+
+func cachePath(dir, key string) string {
+	return filepath.Join(dir, key+".pptrace")
+}
+
+// Load reads a cached trace. A missing or unreadable/corrupt file is a
+// cache miss (nil, nil): the cache is advisory, never load-bearing.
+func Load(dir, key string) (*Trace, error) {
+	f, err := os.Open(cachePath(dir, key))
+	if err != nil {
+		return nil, nil
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, nil
+	}
+	return t, nil
+}
+
+// Store writes a trace into the cache atomically (temp file + rename),
+// so concurrent writers and readers never see a torn file.
+func Store(dir, key string, t *Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trace: cache temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := t.EncodeTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trace: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trace: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), cachePath(dir, key)); err != nil {
+		return fmt.Errorf("trace: cache rename: %w", err)
+	}
+	return nil
+}

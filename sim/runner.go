@@ -11,21 +11,24 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
-// Result is the outcome of simulating one benchmark under one scheme.
+// Result is the outcome of simulating one benchmark under one scheme
+// in one execution mode.
 type Result struct {
 	// Seq is the run's stable position in the experiment matrix
-	// (benchmark-major, scheme-minor); SortResults restores matrix
-	// order after streaming delivery.
+	// (benchmark-major, then mode, then scheme); SortResults restores
+	// matrix order after streaming delivery.
 	Seq         int
 	Tag         string // experiment label from WithTag, "" if unset
 	Bench       string
 	Class       string
 	Scheme      string
+	Mode        Mode // the single mode bit that produced this result
 	IfConverted bool
 	Stats       Stats
-	Mem         MemStats
+	Mem         MemStats // zero in trace mode (no memory hierarchy)
 	// Err is the per-run failure, if any; other runs keep streaming.
 	Err error
 }
@@ -103,7 +106,9 @@ type simJob struct {
 	bench  string
 	class  string
 	scheme string
+	mode   Mode
 	prog   *Program
+	pg     stats.Programs // prepared benchmark (trace recording needs spec + regions)
 }
 
 // Start validates nothing further (New did), prepares the workload if
@@ -114,10 +119,14 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 	wl := e.workload
 	if wl == nil {
 		var err error
-		wl, err = PrepareWorkload(e.suite, e.profileSteps)
+		wl, err = PrepareWorkloadContext(ctx, e.suite, e.profileSteps)
 		if err != nil {
 			return nil, err
 		}
+	}
+	var traces *traceProvider
+	if e.mode&ModeTrace != 0 {
+		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits)
 	}
 	var jobs []simJob
 	for _, pg := range wl.progs {
@@ -125,11 +134,13 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 		if e.ifConverted {
 			p = pg.Converted
 		}
-		for _, s := range e.schemes {
-			jobs = append(jobs, simJob{
-				seq: len(jobs), bench: pg.Spec.Name, class: pg.Spec.Class,
-				scheme: s, prog: p,
-			})
+		for _, m := range e.mode.modes() {
+			for _, s := range e.schemes {
+				jobs = append(jobs, simJob{
+					seq: len(jobs), bench: pg.Spec.Name, class: pg.Spec.Class,
+					scheme: s, mode: m, prog: p, pg: pg,
+				})
+			}
 		}
 	}
 	r := &Runner{
@@ -164,7 +175,7 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				res, ok := e.runJob(ctx, j)
+				res, ok := e.runJob(ctx, traces, j)
 				if !ok { // cancelled mid-run: partial stats, drop it
 					return
 				}
@@ -206,10 +217,10 @@ func (r *Runner) report(f func(Progress), res Result) {
 
 // runJob simulates one matrix cell. ok is false when the context was
 // cancelled mid-simulation and the partial result must be discarded.
-func (e *Experiment) runJob(ctx context.Context, j simJob) (Result, bool) {
+func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, j simJob) (Result, bool) {
 	res := Result{
 		Seq: j.seq, Tag: e.tag, Bench: j.bench, Class: j.class,
-		Scheme: j.scheme, IfConverted: e.ifConverted,
+		Scheme: j.scheme, Mode: j.mode, IfConverted: e.ifConverted,
 	}
 	cfg, err := schemeConfig(j.scheme)
 	if err != nil {
@@ -218,6 +229,23 @@ func (e *Experiment) runJob(ctx context.Context, j simJob) (Result, bool) {
 	}
 	if e.mutate != nil {
 		e.mutate(&cfg)
+	}
+	if j.mode == ModeTrace {
+		tr, err := traces.get(ctx, j.pg, e.ifConverted)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return res, false
+		}
+		if err != nil {
+			res.Err = err
+			return res, true
+		}
+		st, err := stats.ReplayContext(ctx, cfg, tr, e.commits)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return res, false
+		}
+		res.Stats = st
+		res.Err = err
+		return res, true
 	}
 	pl, err := stats.SimulateContext(ctx, cfg, j.prog, e.commits)
 	// Drop the result only when the simulation itself was cut short: a
@@ -274,7 +302,10 @@ type ProgramRun struct {
 	Program *Program
 	Scheme  string        // registry scheme name
 	Commits uint64        // committed-instruction budget (0 = run to halt)
+	Mode    Mode          // ModePipeline (default 0 means pipeline) or ModeTrace
 	Mutate  func(*Config) // optional configuration adjustment
+	// TraceDir overrides the trace cache directory for ModeTrace.
+	TraceDir string
 }
 
 // ProgramResult is a single-program outcome, including the committed
@@ -285,7 +316,10 @@ type ProgramResult struct {
 }
 
 // SimulateProgram runs one program under one named scheme, honoring
-// ctx cancellation mid-run.
+// ctx cancellation mid-run. With Mode == ModeTrace the program is
+// recorded by the functional emulator (through the disk cache) and
+// replayed by the trace engine; the GPR snapshot and memory statistics
+// stay zero in that mode.
 func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	var out ProgramResult
 	if r.Program == nil {
@@ -300,6 +334,20 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	if r.Mutate != nil {
 		r.Mutate(&cfg)
 	}
+	if r.Mode == ModeTrace {
+		out.Mode = ModeTrace
+		tr, err := recordProgramTrace(ctx, r)
+		if err != nil {
+			return out, err
+		}
+		st, err := stats.ReplayContext(ctx, cfg, tr, r.Commits)
+		out.Stats = st
+		return out, err
+	}
+	if r.Mode != 0 && r.Mode != ModePipeline {
+		return out, fmt.Errorf("sim: program run wants a single mode, got %v", r.Mode)
+	}
+	out.Mode = ModePipeline
 	pl, err := stats.SimulateContext(ctx, cfg, r.Program, r.Commits)
 	if pl != nil {
 		out.Stats = pl.Stats
@@ -312,4 +360,24 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// recordProgramTrace records (or loads from the cache) the trace of an
+// arbitrary program, keyed by the binary's content hash.
+func recordProgramTrace(ctx context.Context, r ProgramRun) (*trace.Trace, error) {
+	dir := r.TraceDir
+	if dir == "" {
+		dir = trace.DefaultDir()
+	}
+	hash := trace.HashProgram(r.Program)
+	key := trace.Key("program", r.Program.Name, fmt.Sprintf("prog=%016x", hash))
+	if t, _ := trace.Load(dir, key); t != nil && t.ProgHash == hash && t.Covers(r.Commits) {
+		return t, nil
+	}
+	t, err := trace.Record(ctx, r.Program, trace.Options{MaxSteps: r.Commits})
+	if err != nil {
+		return nil, err
+	}
+	_ = trace.Store(dir, key, t)
+	return t, nil
 }

@@ -4,11 +4,17 @@
 // the benchmark harness — and the seam future scaling work (sharded
 // suites, new workloads, alternative backends) plugs into.
 //
-// The package offers four pieces:
+// The package offers five pieces:
 //
 //   - a functional-options experiment builder: New(WithSuite(...),
 //     WithSchemes(...), WithIfConversion(true), WithCommits(n), ...)
 //     describes a benchmark × scheme matrix declaratively;
+//
+//   - two execution modes per run: the full out-of-order cycle model
+//     (ModePipeline, the default) and a record-once trace replay
+//     (ModeTrace) that drives the predictor organizations from a
+//     disk-cached branch/predicate trace, 15-80x faster — select with
+//     WithMode(sim.ModeTrace | sim.ModePipeline);
 //
 //   - a streaming Runner: Start launches a bounded worker pool under a
 //     context.Context; results arrive on a channel as each simulation
@@ -108,6 +114,8 @@ type Experiment struct {
 	tag          string
 	commits      uint64
 	profileSteps uint64
+	mode         Mode   // execution mode bitmask (WithMode)
+	traceDir     string // trace cache override (WithTraceDir)
 	mutate       func(*Config)
 	parallelism  int
 	progress     func(Progress)
@@ -123,6 +131,7 @@ func New(opts ...Option) (*Experiment, error) {
 	e := &Experiment{
 		commits:      300000,
 		profileSteps: 200000,
+		mode:         ModePipeline,
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {

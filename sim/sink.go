@@ -36,6 +36,7 @@ type record struct {
 	Bench            string  `json:"bench"`
 	Class            string  `json:"class"`
 	Scheme           string  `json:"scheme"`
+	Mode             string  `json:"mode"`
 	IfConverted      bool    `json:"if_converted"`
 	Cycles           uint64  `json:"cycles"`
 	Committed        uint64  `json:"committed"`
@@ -63,6 +64,7 @@ func toRecord(r Result) record {
 		Bench:            r.Bench,
 		Class:            r.Class,
 		Scheme:           r.Scheme,
+		Mode:             modeName(r.Mode),
 		IfConverted:      r.IfConverted,
 		Cycles:           st.Cycles,
 		Committed:        st.Committed,
@@ -85,6 +87,15 @@ func toRecord(r Result) record {
 		rec.Err = r.Err.Error()
 	}
 	return rec
+}
+
+// modeName renders a result's mode, defaulting the zero value to
+// "pipeline" (hand-built Results predate the mode field).
+func modeName(m Mode) string {
+	if m == 0 {
+		return "pipeline"
+	}
+	return m.String()
 }
 
 // round3 keeps emitted rates readable and diff-stable.

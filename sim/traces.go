@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// traceProvider hands out the recorded trace for each benchmark of a
+// trace-mode experiment. Every benchmark is recorded at most once per
+// provider (all schemes replay the same trace), and recordings are
+// cached on disk keyed by the benchmark spec, the profiling budget,
+// the binary variant and the binary's content hash — so a second
+// process run of the same experiment replays from disk without
+// re-emulating anything.
+type traceProvider struct {
+	dir          string
+	profileSteps uint64
+	cap          uint64 // record budget: the experiment's commit budget
+
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+func newTraceProvider(dir string, profileSteps, cap uint64) *traceProvider {
+	if dir == "" {
+		dir = trace.DefaultDir()
+	}
+	return &traceProvider{
+		dir:          dir,
+		profileSteps: profileSteps,
+		cap:          cap,
+		entries:      make(map[string]*traceEntry),
+	}
+}
+
+// get returns the trace for one prepared benchmark variant, loading it
+// from the disk cache or recording it (once, however many scheme jobs
+// ask concurrently).
+func (p *traceProvider) get(ctx context.Context, pg stats.Programs, converted bool) (*trace.Trace, error) {
+	p.mu.Lock()
+	ent := p.entries[pg.Spec.Name]
+	if ent == nil {
+		ent = &traceEntry{}
+		p.entries[pg.Spec.Name] = ent
+	}
+	p.mu.Unlock()
+	ent.once.Do(func() {
+		ent.tr, ent.err = p.load(ctx, pg, converted)
+	})
+	return ent.tr, ent.err
+}
+
+func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted bool) (*trace.Trace, error) {
+	prog := pg.Plain
+	if converted {
+		prog = pg.Converted
+	}
+	hash := trace.HashProgram(prog)
+	key := trace.Key(
+		fmt.Sprintf("spec=%+v", pg.Spec),
+		fmt.Sprintf("profile=%d", p.profileSteps),
+		fmt.Sprintf("converted=%v", converted),
+		fmt.Sprintf("prog=%016x", hash),
+	)
+	if t, _ := trace.Load(p.dir, key); t != nil && t.ProgHash == hash && t.Covers(p.cap) {
+		return t, nil
+	}
+	var regions []trace.Region
+	if converted {
+		for _, h := range pg.Hammocks {
+			regions = append(regions, trace.Region{Kind: uint8(h.Kind), BranchPC: h.Branch})
+		}
+	}
+	t, err := trace.Record(ctx, prog, trace.Options{MaxSteps: p.cap, Regions: regions})
+	if err != nil {
+		return nil, err
+	}
+	// The cache is advisory: a failed store costs a re-recording next
+	// process, never the run.
+	_ = trace.Store(p.dir, key, t)
+	return t, nil
+}

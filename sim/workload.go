@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -13,12 +14,21 @@ import (
 // convert per benchmark), so a Workload is built once and shared
 // across experiments via WithWorkload.
 type Workload struct {
-	progs []stats.Programs
+	progs        []stats.Programs
+	profileSteps uint64
 }
 
 // PrepareWorkload builds and profiles the named suite benchmarks in
 // parallel (nil or empty names = the full 22-benchmark suite).
 func PrepareWorkload(names []string, profileSteps uint64) (*Workload, error) {
+	return PrepareWorkloadContext(context.Background(), names, profileSteps)
+}
+
+// PrepareWorkloadContext is PrepareWorkload under a context:
+// benchmarks not yet started when ctx is cancelled are skipped and the
+// context's error is returned, making the preparation phase
+// cancellable like simulation already is.
+func PrepareWorkloadContext(ctx context.Context, names []string, profileSteps uint64) (*Workload, error) {
 	var specs []bench.Spec
 	if len(names) == 0 {
 		specs = bench.Suite()
@@ -31,11 +41,11 @@ func PrepareWorkload(names []string, profileSteps uint64) (*Workload, error) {
 			specs = append(specs, s)
 		}
 	}
-	progs, err := stats.Prepare(specs, profileSteps)
+	progs, err := stats.PrepareContext(ctx, specs, profileSteps)
 	if err != nil {
 		return nil, fmt.Errorf("sim: prepare workload: %w", err)
 	}
-	return &Workload{progs: progs}, nil
+	return &Workload{progs: progs, profileSteps: profileSteps}, nil
 }
 
 // Len returns the number of prepared benchmarks.
@@ -51,20 +61,22 @@ func (w *Workload) Names() []string {
 }
 
 // Regions returns how many hammock regions were if-converted for a
-// benchmark (0 for unknown names).
-func (w *Workload) Regions(name string) int {
+// benchmark. The second result reports whether the workload contains
+// the benchmark at all, distinguishing "prepared, zero regions" from
+// an unknown name (which Subset treats as an error).
+func (w *Workload) Regions(name string) (int, bool) {
 	for _, pg := range w.progs {
 		if pg.Spec.Name == name {
-			return pg.Regions
+			return pg.Regions, true
 		}
 	}
-	return 0
+	return 0, false
 }
 
 // Subset returns a Workload restricted to the named benchmarks, in
 // the given order, reusing the already-prepared binaries.
 func (w *Workload) Subset(names ...string) (*Workload, error) {
-	sub := &Workload{}
+	sub := &Workload{profileSteps: w.profileSteps}
 	for _, n := range names {
 		found := false
 		for _, pg := range w.progs {
