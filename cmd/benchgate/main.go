@@ -1,0 +1,160 @@
+// Command benchgate is the CI bench-regression gate: it compares a
+// freshly generated BENCH_trace.json (written by
+// BenchmarkTraceVsPipeline) against the committed one and fails when
+// any figure of the chosen metric drifts outside a relative tolerance
+// band — a drop is a regression, an unexplained rise means the
+// committed baseline is stale and should be refreshed.
+//
+// -metric ips compares absolute instrs/s (meaningful between runs on
+// like hardware); -metric speedup compares the trace/pipeline ratio
+// measured within one run, which gates cleanly on shared CI runners
+// whose absolute speed varies.
+//
+//	benchgate -old BENCH_trace.json.committed -new BENCH_trace.json -metric speedup -tol 0.30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchDoc mirrors the layout bench_test.go's writeTraceBenchJSON
+// emits; unknown fields are ignored.
+type benchDoc struct {
+	Benchmark       string                        `json:"benchmark"`
+	InstrsPerSecond map[string]map[string]float64 `json:"instrs_per_second"`
+	Speedup         map[string]float64            `json:"trace_mode_speedup"`
+}
+
+// series flattens the document's chosen metric into comparable
+// key→value pairs: "mode/scheme" → instrs/s, or "scheme" →
+// trace-mode speedup. The speedup metric is a within-run ratio, so it
+// gates cleanly across machines of different absolute speed; instrs/s
+// only compares like hardware.
+func (d benchDoc) series(metric string) map[string]float64 {
+	out := map[string]float64{}
+	switch metric {
+	case "ips":
+		for mode, schemes := range d.InstrsPerSecond {
+			for scheme, v := range schemes {
+				out[mode+"/"+scheme] = v
+			}
+		}
+	case "speedup":
+		for scheme, v := range d.Speedup {
+			out[scheme] = v
+		}
+	}
+	return out
+}
+
+// drift is one out-of-band comparison.
+type drift struct {
+	Key      string // "mode/scheme"
+	Old, New float64
+	Ratio    float64
+}
+
+// compare returns every entry of the chosen metric whose new/old
+// ratio falls outside [1-tol, 1+tol], plus the keys present in one
+// document but not the other (also failures: a vanished series hides
+// regressions).
+func compare(old, fresh benchDoc, metric string, tol float64) (drifts []drift, missing []string) {
+	os, ns := old.series(metric), fresh.series(metric)
+	keys := map[string]bool{}
+	for k := range os {
+		keys[k] = true
+	}
+	for k := range ns {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		o, okOld := os[k]
+		n, okNew := ns[k]
+		if !okOld || !okNew || o <= 0 {
+			missing = append(missing, k)
+			continue
+		}
+		ratio := n / o
+		if ratio < 1-tol || ratio > 1+tol {
+			drifts = append(drifts, drift{Key: k, Old: o, New: n, Ratio: ratio})
+		}
+	}
+	return drifts, missing
+}
+
+func load(path string) (benchDoc, error) {
+	var d benchDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.InstrsPerSecond) == 0 {
+		return d, fmt.Errorf("%s: no instrs_per_second entries", path)
+	}
+	return d, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "committed benchmark JSON (the baseline)")
+		newPath = flag.String("new", "BENCH_trace.json", "freshly generated benchmark JSON")
+		metric  = flag.String("metric", "ips", "what to gate: ips (absolute instrs/s; like hardware only) or speedup (trace/pipeline ratio; machine-independent)")
+		tol     = flag.Float64("tol", 0.30, "relative tolerance band around the baseline")
+	)
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
+		os.Exit(2)
+	}
+	if *metric != "ips" && *metric != "speedup" {
+		fmt.Fprintf(os.Stderr, "benchgate: -metric %q must be ips or speedup\n", *metric)
+		os.Exit(2)
+	}
+	if *tol <= 0 || *tol >= 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -tol %v must be in (0, 1)\n", *tol)
+		os.Exit(2)
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	drifts, missing := compare(old, fresh, *metric, *tol)
+	for _, m := range missing {
+		fmt.Printf("UNCOMPARABLE %-24s absent from one document, or zero/negative baseline\n", m)
+	}
+	for _, d := range drifts {
+		verdict := "REGRESSION"
+		if d.Ratio > 1 {
+			verdict = "STALE BASELINE"
+		}
+		fmt.Printf("%-14s %-24s %.4g -> %.4g %s (%.2fx, tolerance ±%.0f%%)\n",
+			verdict, d.Key, d.Old, d.New, *metric, d.Ratio, *tol*100)
+	}
+	if len(drifts) > 0 || len(missing) > 0 {
+		fmt.Printf("benchgate: %d drift(s), %d missing series\n", len(drifts), len(missing))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d %s series within ±%.0f%% of %s\n",
+		len(old.series(*metric)), *metric, *tol*100, *oldPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

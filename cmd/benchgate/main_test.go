@@ -1,0 +1,96 @@
+package main
+
+import "testing"
+
+func doc(pipeline, trace map[string]float64) benchDoc {
+	return benchDoc{
+		Benchmark: "vpr",
+		InstrsPerSecond: map[string]map[string]float64{
+			"pipeline": pipeline,
+			"trace":    trace,
+		},
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	fresh := doc(map[string]float64{"conventional": 1.25e6}, map[string]float64{"conventional": 3.1e7})
+	drifts, missing := compare(old, fresh, "ips", 0.30)
+	if len(drifts) != 0 || len(missing) != 0 {
+		t.Fatalf("±25%% moves inside a ±30%% band should pass: drifts=%v missing=%v", drifts, missing)
+	}
+}
+
+func TestCompareFlagsRegressionAndStale(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	fresh := doc(map[string]float64{"conventional": 0.6e6}, map[string]float64{"conventional": 6e7})
+	drifts, _ := compare(old, fresh, "ips", 0.30)
+	if len(drifts) != 2 {
+		t.Fatalf("want both directions flagged, got %v", drifts)
+	}
+	// Sorted keys: pipeline/conventional (0.6x), then trace/conventional (1.5x).
+	if drifts[0].Key != "pipeline/conventional" || drifts[0].Ratio >= 1 {
+		t.Errorf("drift 0 should be the regression: %+v", drifts[0])
+	}
+	if drifts[1].Key != "trace/conventional" || drifts[1].Ratio <= 1 {
+		t.Errorf("drift 1 should be the stale baseline: %+v", drifts[1])
+	}
+}
+
+func TestCompareBoundaryExactlyAtTolerance(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 1e6})
+	fresh := doc(map[string]float64{"conventional": 0.7e6}, map[string]float64{"conventional": 1.3e6})
+	if drifts, _ := compare(old, fresh, "ips", 0.30); len(drifts) != 0 {
+		t.Fatalf("exactly ±30%% is inside a closed ±30%% band, got %v", drifts)
+	}
+}
+
+func TestCompareMissingSeries(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6, "predpred": 1e6}, map[string]float64{"conventional": 4e7})
+	fresh := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7, "peppa": 7e7})
+	_, missing := compare(old, fresh, "ips", 0.30)
+	if len(missing) != 2 {
+		t.Fatalf("want the vanished and the new series flagged, got %v", missing)
+	}
+	for _, k := range []string{"pipeline/predpred", "trace/peppa"} {
+		found := false
+		for _, m := range missing {
+			if m == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing should include %s: %v", k, missing)
+		}
+	}
+}
+
+// TestCompareSpeedupMetric pins the machine-independent gate CI uses:
+// only trace_mode_speedup ratios are compared, so absolute instrs/s
+// drift (a slower runner) is invisible while a collapsed speedup is
+// flagged.
+func TestCompareSpeedupMetric(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	old.Speedup = map[string]float64{"conventional": 40, "predpred": 15}
+	// Half-speed machine: absolute numbers halve, ratios hold.
+	fresh := doc(map[string]float64{"conventional": 0.5e6}, map[string]float64{"conventional": 2e7})
+	fresh.Speedup = map[string]float64{"conventional": 40, "predpred": 15}
+	if drifts, missing := compare(old, fresh, "speedup", 0.30); len(drifts) != 0 || len(missing) != 0 {
+		t.Fatalf("speedup metric must ignore absolute slowdown: drifts=%v missing=%v", drifts, missing)
+	}
+	// A trace-engine regression shows up as a collapsed ratio.
+	fresh.Speedup["predpred"] = 6
+	drifts, _ := compare(old, fresh, "speedup", 0.30)
+	if len(drifts) != 1 || drifts[0].Key != "predpred" {
+		t.Fatalf("collapsed predpred speedup should be the one drift: %v", drifts)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 0}, nil)
+	fresh := doc(map[string]float64{"conventional": 1e6}, nil)
+	drifts, missing := compare(old, fresh, "ips", 0.30)
+	if len(drifts) != 0 || len(missing) != 1 {
+		t.Fatalf("a zero baseline is uncomparable, not a drift: drifts=%v missing=%v", drifts, missing)
+	}
+}

@@ -1,0 +1,215 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Mutator is a named, string-addressable configuration knob: the
+// contract between the sweep engine's -axes surface and the Config
+// struct. Apply parses a value and writes the corresponding field(s);
+// a parse failure returns an error naming the knob, never a partial
+// write.
+type Mutator struct {
+	// Name is the registry key, conventionally "group.field"
+	// (e.g. "pvt.entries", "conf.bits").
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Apply parses value and mutates c.
+	Apply func(c *Config, value string) error
+}
+
+var mutatorReg = struct {
+	sync.RWMutex
+	m map[string]Mutator
+}{m: map[string]Mutator{}}
+
+// RegisterMutator adds a named knob to the registry. It fails on an
+// empty or duplicate name and on a nil Apply.
+func RegisterMutator(m Mutator) error {
+	if m.Name == "" {
+		return fmt.Errorf("config: mutator name must not be empty")
+	}
+	if m.Apply == nil {
+		return fmt.Errorf("config: mutator %q needs an Apply function", m.Name)
+	}
+	mutatorReg.Lock()
+	defer mutatorReg.Unlock()
+	if _, dup := mutatorReg.m[m.Name]; dup {
+		return fmt.Errorf("config: mutator %q already registered", m.Name)
+	}
+	mutatorReg.m[m.Name] = m
+	return nil
+}
+
+func mustRegisterMutator(m Mutator) {
+	if err := RegisterMutator(m); err != nil {
+		panic(err)
+	}
+}
+
+// ResolveMutator looks a knob up by name.
+func ResolveMutator(name string) (Mutator, bool) {
+	mutatorReg.RLock()
+	defer mutatorReg.RUnlock()
+	m, ok := mutatorReg.m[name]
+	return m, ok
+}
+
+// MutatorNames returns every registered knob name, sorted.
+func MutatorNames() []string {
+	mutatorReg.RLock()
+	defer mutatorReg.RUnlock()
+	names := make([]string, 0, len(mutatorReg.m))
+	for n := range mutatorReg.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Set applies one named knob to c: the string-addressed equivalent of
+// writing the Config field directly.
+func Set(c *Config, name, value string) error {
+	m, ok := ResolveMutator(name)
+	if !ok {
+		return fmt.Errorf("config: unknown knob %q (registered: %v)", name, MutatorNames())
+	}
+	return m.Apply(c, value)
+}
+
+// intKnob builds an Apply that parses a positive integer into set.
+func intKnob(name string, set func(*Config, int)) func(*Config, string) error {
+	return func(c *Config, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return fmt.Errorf("config: %s: want a positive integer, got %q", name, v)
+		}
+		set(c, n)
+		return nil
+	}
+}
+
+// uintKnob builds an Apply that parses a positive bit count into set.
+func uintKnob(name string, set func(*Config, uint)) func(*Config, string) error {
+	return func(c *Config, v string) error {
+		n, err := strconv.ParseUint(v, 10, 6)
+		if err != nil || n < 1 {
+			return fmt.Errorf("config: %s: want a positive bit count, got %q", name, v)
+		}
+		set(c, uint(n))
+		return nil
+	}
+}
+
+// boolKnob builds an Apply that parses a boolean into set.
+func boolKnob(name string, set func(*Config, bool)) func(*Config, string) error {
+	return func(c *Config, v string) error {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("config: %s: want a boolean, got %q", name, v)
+		}
+		set(c, b)
+		return nil
+	}
+}
+
+// The built-in knobs: the §3.3/§4 sensitivity axes of the paper plus
+// the machine parameters the ROADMAP sweeps care about. Predictor
+// byte budgets are shared by the conventional second level and the
+// predicate predictor's PVT (both are sized from L2PredBytes); PEP-PA
+// sizes itself and does not respond to these knobs.
+func init() {
+	mustRegisterMutator(Mutator{
+		Name: "pvt.entries",
+		Doc:  "second-level predictor rows (PVT/perceptron); sets the byte budget as rows × (GHR+LHR+1) weights — apply history-width knobs first",
+		// The row size is read from the current history widths, so in a
+		// sweep this knob must be declared after pred.ghrbits /
+		// pred.lhrbits axes (axes apply in declaration order) or the
+		// byte budget is computed from stale widths.
+		Apply: intKnob("pvt.entries", func(c *Config, n int) {
+			c.L2PredBytes = n * (int(c.L2PredGHRBits+c.L2PredLHRBits) + 1)
+		}),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pred.bytes",
+		Doc:   "second-level predictor byte budget (Table 1: 151552 = 148 KB)",
+		Apply: intKnob("pred.bytes", func(c *Config, n int) { c.L2PredBytes = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pred.ghrbits",
+		Doc:   "second-level global history length (Table 1: 30)",
+		Apply: uintKnob("pred.ghrbits", func(c *Config, n uint) { c.L2PredGHRBits = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pred.lhrbits",
+		Doc:   "second-level local history length (Table 1: 10)",
+		Apply: uintKnob("pred.lhrbits", func(c *Config, n uint) { c.L2PredLHRBits = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pred.lhtbits",
+		Doc:   "log2 of local-history-table entries (Table 1: 12)",
+		Apply: uintKnob("pred.lhtbits", func(c *Config, n uint) { c.L2PredLHTBits = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pred.latency",
+		Doc:   "second-level predictor access latency in cycles (Table 1: 3)",
+		Apply: intKnob("pred.latency", func(c *Config, n int) { c.L2PredLatency = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "conf.bits",
+		Doc:   "predicate confidence counter width (Table 1: 3; saturated == confident)",
+		Apply: uintKnob("conf.bits", func(c *Config, n uint) { c.ConfBits = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name: "gshare.idxbits",
+		Doc:  "first-level gshare index and history length (Table 1: 14)",
+		Apply: uintKnob("gshare.idxbits", func(c *Config, n uint) {
+			c.GshareIdxBits = n
+			c.GshareGHRBits = n
+		}),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "mispredict.penalty",
+		Doc:   "branch misprediction recovery cycles (Table 1: 10)",
+		Apply: intKnob("mispredict.penalty", func(c *Config, n int) { c.MispredictPenalty = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "rob.entries",
+		Doc:   "reorder buffer entries (Table 1: 256)",
+		Apply: intKnob("rob.entries", func(c *Config, n int) { c.ROBEntries = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "ras.entries",
+		Doc:   "return address stack entries (Table 1: 32)",
+		Apply: intKnob("ras.entries", func(c *Config, n int) { c.RASEntries = n }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "pvt.split",
+		Doc:   "statically split the PVT instead of sharing it through two hash functions (§3.3 ablation)",
+		Apply: boolKnob("pvt.split", func(c *Config, b bool) { c.SplitPVT = b }),
+	})
+	mustRegisterMutator(Mutator{
+		Name:  "ghr.repair",
+		Doc:   "repair a resolved compare's speculative GHR bit in place (§3.3; false = leave corrupted)",
+		Apply: boolKnob("ghr.repair", func(c *Config, b bool) { c.DisableGHRRepair = !b }),
+	})
+	mustRegisterMutator(Mutator{
+		Name: "predication",
+		Doc:  "guarded-instruction handling at rename: select | selective (§3.2)",
+		Apply: func(c *Config, v string) error {
+			switch v {
+			case "select":
+				c.Predication = PredicationSelect
+			case "selective":
+				c.Predication = PredicationSelective
+			default:
+				return fmt.Errorf("config: predication: want select or selective, got %q", v)
+			}
+			return nil
+		},
+	})
+}

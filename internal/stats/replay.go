@@ -169,6 +169,11 @@ func ReplayContext(ctx context.Context, cfg config.Config, tr *trace.Trace, comm
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
+	return r.run(ctx, tr, commits)
+}
+
+// run replays one trace through the engine's configured organization.
+func (r *replayer) run(ctx context.Context, tr *trace.Trace, commits uint64) (pipeline.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return r.st, err
 	}

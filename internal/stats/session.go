@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"context"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Session replays one recorded trace under many configurations — the
+// unit of reuse behind configuration sweeps, where a benchmark's trace
+// is recorded (or loaded) once and then replayed for every sweep point
+// × scheme. Predictor tables are rebuilt per run (their geometry is
+// part of the configuration under test), but the engine's in-flight
+// queues keep their grown backing arrays across runs, so steady-state
+// sweep replay does not re-allocate per point.
+//
+// A Session is not safe for concurrent use; give each worker its own.
+type Session struct {
+	tr      *trace.Trace
+	trainQ  []pendingTrain
+	ghrRing []specBit
+}
+
+// NewSession wraps a recorded trace for repeated replay.
+func NewSession(tr *trace.Trace) *Session {
+	return &Session{tr: tr}
+}
+
+// Trace returns the session's recorded trace.
+func (s *Session) Trace() *trace.Trace { return s.tr }
+
+// Replay runs the trace through one predictor organization for a
+// commit budget (0 = the whole trace), honoring ctx like
+// ReplayContext.
+func (s *Session) Replay(ctx context.Context, cfg config.Config, commits uint64) (pipeline.Stats, error) {
+	r, err := newReplayer(cfg)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	r.trainQ, r.ghrRing = s.trainQ[:0], s.ghrRing[:0]
+	st, err := r.run(ctx, s.tr, commits)
+	// Keep whatever capacity the run grew for the next replay.
+	s.trainQ, s.ghrRing = r.trainQ[:0], r.ghrRing[:0]
+	return st, err
+}

@@ -7,7 +7,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 )
+
+// cacheHits counts Load calls that decoded a cached trace,
+// process-wide (callers may still reject one that does not cover
+// their budget). Paired with Recordings it proves record-once
+// behaviour: a repeated sweep or experiment should re-record nothing,
+// only hit.
+var cacheHits atomic.Uint64
+
+// CacheHits returns the number of traces served from the disk cache in
+// this process.
+func CacheHits() uint64 { return cacheHits.Load() }
 
 // EnvDir is the environment variable overriding the default on-disk
 // trace cache directory.
@@ -50,6 +62,7 @@ func Load(dir, key string) (*Trace, error) {
 	if err != nil {
 		return nil, nil
 	}
+	cacheHits.Add(1)
 	return t, nil
 }
 

@@ -53,11 +53,19 @@ func (m Mode) String() string {
 }
 
 // ParseMode parses a -mode flag value: "pipeline", "trace", "both", or
-// a |-separated combination.
+// a |-separated combination. Empty input is an error, not a silent
+// default: every mode flag (-mode on the CLIs, -simmode on the bench
+// harness) goes through here, so an explicitly empty value is named
+// as such instead of being mistaken for a mode.
 func ParseMode(s string) (Mode, error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, fmt.Errorf("sim: empty mode; valid modes are pipeline, trace, and both (or a |-combination)")
+	}
 	var m Mode
 	for _, part := range strings.Split(s, "|") {
 		switch strings.TrimSpace(part) {
+		case "":
+			return 0, fmt.Errorf("sim: empty mode element in %q; valid modes are pipeline, trace, and both", s)
 		case "pipeline":
 			m |= ModePipeline
 		case "trace":

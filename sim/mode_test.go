@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/trace"
@@ -19,6 +20,10 @@ func TestParseMode(t *testing.T) {
 		{"both", sim.ModePipeline | sim.ModeTrace, true},
 		{"pipeline|trace", sim.ModePipeline | sim.ModeTrace, true},
 		{"warp", 0, false},
+		{"", 0, false},
+		{"   ", 0, false},
+		{"pipeline|", 0, false},
+		{"|trace", 0, false},
 	}
 	for _, c := range cases {
 		got, err := sim.ParseMode(c.in)
@@ -34,6 +39,29 @@ func TestParseMode(t *testing.T) {
 		return err
 	}(); err == nil {
 		t.Error("WithMode(0) should fail validation")
+	}
+}
+
+// TestParseModeEmptyNamesValidModes pins the contract shared by every
+// mode flag (cmd/predsim -mode, cmd/experiments -mode, cmd/sweep
+// -mode, the harness -simmode): an empty value is rejected with an
+// error that names the valid modes, in both the multi- and
+// single-mode parsers.
+func TestParseModeEmptyNamesValidModes(t *testing.T) {
+	for _, in := range []string{"", "  "} {
+		for name, parse := range map[string]func(string) (sim.Mode, error){
+			"ParseMode":       sim.ParseMode,
+			"ParseSingleMode": sim.ParseSingleMode,
+		} {
+			_, err := parse(in)
+			if err == nil {
+				t.Fatalf("%s(%q) should fail", name, in)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "pipeline") || !strings.Contains(msg, "trace") {
+				t.Errorf("%s(%q) error should name the valid modes, got %q", name, in, msg)
+			}
+		}
 	}
 }
 

@@ -171,11 +171,15 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local replay sessions: within one worker, every
+			// trace-mode job of the same benchmark replays through one
+			// reused engine (see stats.Session).
+			sessions := make(map[string]*stats.Session)
 			for j := range jobc {
 				if ctx.Err() != nil {
 					return
 				}
-				res, ok := e.runJob(ctx, traces, j)
+				res, ok := e.runJob(ctx, traces, sessions, j)
 				if !ok { // cancelled mid-run: partial stats, drop it
 					return
 				}
@@ -215,23 +219,38 @@ func (r *Runner) report(f func(Progress), res Result) {
 	}
 }
 
-// runJob simulates one matrix cell. ok is false when the context was
-// cancelled mid-simulation and the partial result must be discarded.
-func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, j simJob) (Result, bool) {
-	res := Result{
+// result is the cell's Result prologue: identity fields filled in,
+// statistics still empty.
+func (j simJob) result(e *Experiment) Result {
+	return Result{
 		Seq: j.seq, Tag: e.tag, Bench: j.bench, Class: j.class,
 		Scheme: j.scheme, Mode: j.mode, IfConverted: e.ifConverted,
 	}
+}
+
+// runJob simulates one matrix cell. ok is false when the context was
+// cancelled mid-simulation and the partial result must be discarded.
+func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob) (Result, bool) {
 	cfg, err := schemeConfig(j.scheme)
 	if err != nil {
+		res := j.result(e)
 		res.Err = err
 		return res, true
 	}
 	if e.mutate != nil {
 		e.mutate(&cfg)
 	}
+	return e.runCell(ctx, cfg, traces, sessions, j)
+}
+
+// runCell simulates one matrix cell under an explicit, fully-built
+// configuration — the seam the sweep engine shares with the plain
+// runner (a sweep point is the same cell with extra axis mutations
+// applied). ok is false when the context was cancelled mid-simulation.
+func (e *Experiment) runCell(ctx context.Context, cfg Config, traces *traceProvider, sessions map[string]*stats.Session, j simJob) (Result, bool) {
+	res := j.result(e)
 	if j.mode == ModeTrace {
-		tr, err := traces.get(ctx, j.pg, e.ifConverted)
+		sess, err := traces.session(ctx, sessions, j.pg, e.ifConverted)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return res, false
 		}
@@ -239,7 +258,7 @@ func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, j simJob
 			res.Err = err
 			return res, true
 		}
-		st, err := stats.ReplayContext(ctx, cfg, tr, e.commits)
+		st, err := sess.Replay(ctx, cfg, e.commits)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return res, false
 		}

@@ -146,16 +146,11 @@ func NewCSVSink(w io.Writer) *CSVSink {
 	return &CSVSink{w: csv.NewWriter(w)}
 }
 
-// Emit writes one CSV row (and the header before the first row). Rows
-// are derived from the record struct field-by-field, in struct order.
-func (s *CSVSink) Emit(r Result) error {
-	if !s.wroteH {
-		if err := s.w.Write(csvHeader); err != nil {
-			return err
-		}
-		s.wroteH = true
-	}
-	v := reflect.ValueOf(toRecord(r))
+// recordRow renders a record as CSV cells, field-by-field in struct
+// order — shared by the plain and sweep CSV sinks so their row format
+// cannot drift.
+func recordRow(rec record) ([]string, error) {
+	v := reflect.ValueOf(rec)
 	row := make([]string, v.NumField())
 	for i := range row {
 		switch f := v.Field(i); f.Kind() {
@@ -168,8 +163,23 @@ func (s *CSVSink) Emit(r Result) error {
 		case reflect.Float64:
 			row[i] = strconv.FormatFloat(f.Float(), 'f', 3, 64)
 		default:
-			return fmt.Errorf("sim: unsupported record field kind %v", f.Kind())
+			return nil, fmt.Errorf("sim: unsupported record field kind %v", f.Kind())
 		}
+	}
+	return row, nil
+}
+
+// Emit writes one CSV row (and the header before the first row).
+func (s *CSVSink) Emit(r Result) error {
+	if !s.wroteH {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wroteH = true
+	}
+	row, err := recordRow(toRecord(r))
+	if err != nil {
+		return err
 	}
 	return s.w.Write(row)
 }

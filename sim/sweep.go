@@ -1,0 +1,508 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// maxGridPoints bounds an unsampled cross-product: a grid larger than
+// this must opt into Latin-hypercube subsampling (WithSample) instead
+// of silently enqueueing millions of points.
+const maxGridPoints = 1 << 20
+
+// AxisValue is one axis coordinate of a sweep point.
+type AxisValue struct {
+	Axis  string // axis name (a config knob or a WithMutatorAxis name)
+	Value string // the swept value, as given
+}
+
+// Point is one configuration of a sweep: a coordinate per axis, in
+// axis declaration order. Index is the point's stable position in the
+// sweep's point list (the row-major grid position, or the sample
+// position under WithSample); SortSweepResults restores it after
+// parallel delivery.
+type Point struct {
+	Index  int
+	Values []AxisValue
+}
+
+// Value returns the point's coordinate on a named axis.
+func (p Point) Value(axis string) (string, bool) {
+	for _, av := range p.Values {
+		if av.Axis == axis {
+			return av.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the point as "axis=value" pairs.
+func (p Point) String() string {
+	parts := make([]string, len(p.Values))
+	for i, av := range p.Values {
+		parts[i] = av.Axis + "=" + av.Value
+	}
+	return strings.Join(parts, " ")
+}
+
+// SweepResult is the outcome of one sweep point: the point's
+// coordinates plus the full benchmark × mode × scheme result matrix of
+// the base experiment run under that configuration.
+type SweepResult struct {
+	Point   Point
+	Results []Result
+}
+
+// sweepAxis pairs an axis's declared values with the mutation that
+// applies one of them to a configuration.
+type sweepAxis struct {
+	name   string
+	values []string
+	apply  func(*Config, string) error
+}
+
+// Sweep is a declarative parameter sweep over a base experiment: the
+// cross-product of its axes (optionally Latin-hypercube subsampled) is
+// executed point by point, each point running the base experiment's
+// benchmark × scheme matrix with the point's axis values applied on
+// top of the base configuration. Trace-mode sweeps record each
+// benchmark's trace once for the whole sweep, however many points
+// replay it.
+//
+// Workers shard by point (each point's cells run serially, so results
+// arrive point-atomic): the intended regime is many points over a
+// cheap trace-mode matrix. For one or two configurations of a large
+// matrix, the plain Experiment runner — which shards by cell — is the
+// better tool.
+type Sweep struct {
+	base   *Experiment
+	axes   []sweepAxis
+	sample int
+	seed   int64
+}
+
+// SweepOption configures a Sweep under construction.
+type SweepOption func(*Sweep) error
+
+// NewSweep validates the options and builds a Sweep over a base
+// experiment (built with New; its suite, schemes, mode, commit budget,
+// tag, parallelism and config mutator all carry over). At least one
+// axis is required, and every axis value is dry-run against a scratch
+// configuration so parse errors surface here, not per cell.
+func NewSweep(base *Experiment, opts ...SweepOption) (*Sweep, error) {
+	if base == nil {
+		return nil, fmt.Errorf("sim: sweep needs a base experiment")
+	}
+	s := &Sweep{base: base}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.axes) == 0 {
+		return nil, fmt.Errorf("sim: sweep needs at least one axis (WithAxis)")
+	}
+	for _, ax := range s.axes {
+		for _, v := range ax.values {
+			c := config.Default()
+			if err := ax.apply(&c, v); err != nil {
+				return nil, fmt.Errorf("sim: axis %s: %w", ax.name, err)
+			}
+		}
+	}
+	if n := s.gridSize(); s.sample == 0 && n > maxGridPoints {
+		return nil, fmt.Errorf("sim: sweep grid has %d points; subsample with WithSample", n)
+	}
+	return s, nil
+}
+
+func (s *Sweep) addAxis(ax sweepAxis) error {
+	if len(ax.values) == 0 {
+		return fmt.Errorf("sim: axis %q needs at least one value", ax.name)
+	}
+	for _, prev := range s.axes {
+		if prev.name == ax.name {
+			return fmt.Errorf("sim: duplicate sweep axis %q", ax.name)
+		}
+	}
+	s.axes = append(s.axes, ax)
+	return nil
+}
+
+// formatValues renders axis values given as ints, strings, bools, ...
+// into the string form the mutator contract parses.
+func formatValues(values []any) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// WithAxis adds a named axis backed by the config knob registry
+// (config.RegisterMutator): WithAxis("pvt.entries", 256, 512, 1024)
+// sweeps the predictor table size through three points.
+func WithAxis(name string, values ...any) SweepOption {
+	return func(s *Sweep) error {
+		m, ok := config.ResolveMutator(name)
+		if !ok {
+			return fmt.Errorf("sim: unknown sweep axis %q (registered knobs: %v)", name, config.MutatorNames())
+		}
+		return s.addAxis(sweepAxis{name: name, values: formatValues(values), apply: m.Apply})
+	}
+}
+
+// Knob describes one registered configuration knob (a WithAxis axis
+// name), for listings.
+type Knob struct {
+	Name string
+	Doc  string
+}
+
+// Knobs returns every registered config knob, sorted by name — the
+// valid WithAxis axes.
+func Knobs() []Knob {
+	names := config.MutatorNames()
+	out := make([]Knob, len(names))
+	for i, n := range names {
+		m, _ := config.ResolveMutator(n)
+		out[i] = Knob{Name: m.Name, Doc: m.Doc}
+	}
+	return out
+}
+
+// RegisterKnob adds a named, string-addressable config knob to the
+// registry behind WithAxis (and cmd/sweep -axes): apply parses a
+// value and mutates the configuration, returning an error (and
+// writing nothing) on a bad value. It fails on an empty or duplicate
+// name.
+func RegisterKnob(name, doc string, apply func(*Config, string) error) error {
+	return config.RegisterMutator(config.Mutator{Name: name, Doc: doc, Apply: apply})
+}
+
+// WithMutatorAxis adds a free-form axis: apply receives each swept
+// value as a string and may touch any Config field, so axes are not
+// limited to registered knobs.
+func WithMutatorAxis(name string, apply func(*Config, string) error, values ...any) SweepOption {
+	return func(s *Sweep) error {
+		if name == "" {
+			return fmt.Errorf("sim: mutator axis needs a name")
+		}
+		if apply == nil {
+			return fmt.Errorf("sim: mutator axis %q needs an apply function", name)
+		}
+		return s.addAxis(sweepAxis{name: name, values: formatValues(values), apply: apply})
+	}
+}
+
+// WithSample switches the sweep from the full cross-product to a
+// Latin-hypercube subsample of n points: each axis's values are
+// stratified evenly across the sample and shuffled independently
+// (deterministically, from seed), so every axis is covered uniformly
+// even when the full grid is unaffordable. A sample at least as large
+// as the grid falls back to the full grid.
+func WithSample(n int, seed int64) SweepOption {
+	return func(s *Sweep) error {
+		if n < 1 {
+			return fmt.Errorf("sim: sample size %d < 1", n)
+		}
+		s.sample = n
+		s.seed = seed
+		return nil
+	}
+}
+
+// AxisNames returns the axis names in declaration order — the column
+// order of the sweep sinks.
+func (s *Sweep) AxisNames() []string {
+	names := make([]string, len(s.axes))
+	for i, ax := range s.axes {
+		names[i] = ax.name
+	}
+	return names
+}
+
+// gridSize returns the full cross-product size (capped to avoid
+// overflow).
+func (s *Sweep) gridSize() int {
+	n := 1
+	for _, ax := range s.axes {
+		if n > maxGridPoints { // further multiplication cannot shrink it
+			return n
+		}
+		n *= len(ax.values)
+	}
+	return n
+}
+
+// Points expands the sweep into its point list: the row-major
+// cross-product (first axis slowest), or the Latin-hypercube subsample
+// when WithSample is in effect and smaller than the grid.
+func (s *Sweep) Points() []Point {
+	if s.sample > 0 && s.sample < s.gridSize() {
+		return s.samplePoints()
+	}
+	return s.gridPoints()
+}
+
+func (s *Sweep) gridPoints() []Point {
+	pts := make([]Point, s.gridSize())
+	for i := range pts {
+		vals := make([]AxisValue, len(s.axes))
+		rem := i
+		for j := len(s.axes) - 1; j >= 0; j-- {
+			k := len(s.axes[j].values)
+			vals[j] = AxisValue{Axis: s.axes[j].name, Value: s.axes[j].values[rem%k]}
+			rem /= k
+		}
+		pts[i] = Point{Index: i, Values: vals}
+	}
+	return pts
+}
+
+// samplePoints draws the Latin-hypercube sample: per axis, a stratified
+// value column (each value appearing ⌊n/k⌋ or ⌈n/k⌉ times) shuffled
+// independently, then combined row-wise into points.
+func (s *Sweep) samplePoints() []Point {
+	n := s.sample
+	rng := rand.New(rand.NewSource(s.seed))
+	cols := make([][]string, len(s.axes))
+	for j, ax := range s.axes {
+		k := len(ax.values)
+		col := make([]string, n)
+		for i := 0; i < n; i++ {
+			col[i] = ax.values[i*k/n]
+		}
+		rng.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
+		cols[j] = col
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		vals := make([]AxisValue, len(s.axes))
+		for j := range s.axes {
+			vals[j] = AxisValue{Axis: s.axes[j].name, Value: cols[j][i]}
+		}
+		pts[i] = Point{Index: i, Values: vals}
+	}
+	return pts
+}
+
+// applyPoint applies a point's axis mutations, in axis order, on top
+// of an already scheme- and base-mutated configuration.
+func (s *Sweep) applyPoint(c *Config, pt Point) error {
+	for j, av := range pt.Values {
+		if err := s.axes[j].apply(c, av.Value); err != nil {
+			return fmt.Errorf("sim: point %d, axis %s: %w", pt.Index, av.Axis, err)
+		}
+	}
+	return nil
+}
+
+// SweepRunner is a started sweep: a sharded worker pool streaming one
+// SweepResult per completed point.
+type SweepRunner struct {
+	results chan SweepResult
+	done    chan struct{}
+	points  int
+	cells   int
+
+	mu  sync.Mutex
+	err error
+
+	progressMu sync.Mutex
+	finished   int // completed cells (not points), for WithProgress
+}
+
+// Results returns the stream of completed points. The channel closes
+// once every point has finished or the context is cancelled; points
+// arrive in completion order (see SortSweepResults).
+func (r *SweepRunner) Results() <-chan SweepResult { return r.results }
+
+// Points returns the number of points in the sweep.
+func (r *SweepRunner) Points() int { return r.points }
+
+// Total returns the number of simulation cells in the sweep
+// (points × benchmarks × modes × schemes) — the Total reported to
+// WithProgress callbacks.
+func (r *SweepRunner) Total() int { return r.cells }
+
+// Wait blocks until the worker pool has shut down and returns the
+// context's error if the sweep was cut short. Per-run failures are
+// reported on each Result, not here.
+func (r *SweepRunner) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *SweepRunner) reportCell(f func(Progress), res Result) {
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.finished++
+	if f != nil {
+		f(Progress{Done: r.finished, Total: r.cells, Bench: res.Bench, Scheme: res.Scheme, Err: res.Err})
+	}
+}
+
+// Start prepares the workload (once, shared by every point) and
+// launches the point worker pool under ctx. In trace mode one shared
+// provider records each benchmark's trace exactly once for the whole
+// sweep — an N-point sweep over the full suite records 22 traces, not
+// 22×N — and every worker replays through reused per-benchmark
+// engines.
+func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
+	e := s.base
+	wl := e.workload
+	if wl == nil {
+		var err error
+		wl, err = PrepareWorkloadContext(ctx, e.suite, e.profileSteps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var traces *traceProvider
+	if e.mode&ModeTrace != 0 {
+		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits)
+	}
+	pts := s.Points()
+	cellsPerPoint := wl.Len() * len(e.mode.modes()) * len(e.schemes)
+	r := &SweepRunner{
+		results: make(chan SweepResult, len(pts)),
+		done:    make(chan struct{}),
+		points:  len(pts),
+		cells:   len(pts) * cellsPerPoint,
+	}
+	k := e.parallelism
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > len(pts) && len(pts) > 0 {
+		k = len(pts)
+	}
+	pointc := make(chan Point)
+	go func() {
+		defer close(pointc)
+		for _, pt := range pts {
+			select {
+			case pointc <- pt:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions := make(map[string]*stats.Session)
+			for pt := range pointc {
+				if ctx.Err() != nil {
+					return
+				}
+				sr, ok := s.runPoint(ctx, wl, traces, sessions, pt, r)
+				if !ok { // cancelled mid-point: drop the partial point
+					return
+				}
+				r.results <- sr
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		r.progressMu.Lock()
+		finished := r.finished
+		r.progressMu.Unlock()
+		if finished < r.cells {
+			r.mu.Lock()
+			r.err = ctx.Err()
+			r.mu.Unlock()
+		}
+		close(r.results)
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// runPoint executes the base experiment's full cell matrix under one
+// point's configuration, serially within the owning worker. ok is
+// false when the context was cancelled mid-point.
+func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvider, sessions map[string]*stats.Session, pt Point, r *SweepRunner) (SweepResult, bool) {
+	e := s.base
+	out := SweepResult{Point: pt}
+	seq := 0
+	for _, pg := range wl.progs {
+		prog := pg.Plain
+		if e.ifConverted {
+			prog = pg.Converted
+		}
+		for _, m := range e.mode.modes() {
+			for _, scheme := range e.schemes {
+				j := simJob{
+					seq: seq, bench: pg.Spec.Name, class: pg.Spec.Class,
+					scheme: scheme, mode: m, prog: prog, pg: pg,
+				}
+				seq++
+				cfg, err := schemeConfig(scheme)
+				if err == nil {
+					if e.mutate != nil {
+						e.mutate(&cfg)
+					}
+					err = s.applyPoint(&cfg, pt)
+				}
+				var res Result
+				if err != nil {
+					res = j.result(e)
+					res.Err = err
+				} else {
+					var ok bool
+					res, ok = e.runCell(ctx, cfg, traces, sessions, j)
+					if !ok {
+						return out, false
+					}
+				}
+				out.Results = append(out.Results, res)
+				r.reportCell(e.progress, res)
+			}
+		}
+	}
+	return out, true
+}
+
+// Run starts the sweep, drains the stream, and returns every point in
+// matrix order. It fails on cancellation but not on per-run errors
+// (inspect each Result.Err, or let the aggregation layer surface
+// them).
+func (s *Sweep) Run(ctx context.Context) ([]SweepResult, error) {
+	r, err := s.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepResult
+	for sr := range r.Results() {
+		out = append(out, sr)
+	}
+	if err := r.Wait(); err != nil {
+		return out, err
+	}
+	SortSweepResults(out)
+	return out, nil
+}
+
+// SortSweepResults restores point order (and matrix order within each
+// point) on a slice of streamed sweep results.
+func SortSweepResults(rs []SweepResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Point.Index < rs[j].Point.Index })
+	for i := range rs {
+		SortResults(rs[i].Results)
+	}
+}

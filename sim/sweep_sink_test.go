@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+// fixedSweepResults is a deterministic 2-axis, 2-point sweep over the
+// fixedResults run set.
+func fixedSweepResults() []sim.SweepResult {
+	mk := func(idx int, entries, bits string) sim.Point {
+		return sim.Point{Index: idx, Values: []sim.AxisValue{
+			{Axis: "pvt.entries", Value: entries},
+			{Axis: "conf.bits", Value: bits},
+		}}
+	}
+	rs := fixedResults()[:2]
+	return []sim.SweepResult{
+		{Point: mk(0, "1024", "2"), Results: rs},
+		{Point: mk(3, "2048", "3"), Results: rs},
+	}
+}
+
+func TestSweepCSVSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := sim.NewSweepCSVSink(&buf, []string{"pvt.entries", "conf.bits"})
+	if err := sim.EmitAllSweep(sink, fixedSweepResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "\n"); n != 5 { // header + 2 points × 2 runs
+		t.Errorf("expected 5 CSV lines, got %d:\n%s", n, out)
+	}
+	header := out[:strings.Index(out, "\n")]
+	for _, col := range []string{"point", "axis:pvt.entries", "axis:conf.bits", "bench", "scheme", "mispredict_pct"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing column %q: %s", col, header)
+		}
+	}
+	checkGolden(t, "sweep.csv.golden", buf.Bytes())
+}
+
+func TestSweepJSONSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sim.EmitAllSweep(sim.NewSweepJSONSink(&buf), fixedSweepResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "\n"); n != 4 { // 2 points × 2 runs
+		t.Errorf("expected 4 NDJSON lines, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, `"axes":{"conf.bits":"2","pvt.entries":"1024"}`) {
+		t.Errorf("NDJSON should carry the axis map:\n%s", out)
+	}
+	checkGolden(t, "sweep.ndjson.golden", buf.Bytes())
+}
+
+// TestSortSweepResults pins the ordering contract: parallel delivery
+// shuffles points (and a drain may interleave a point's runs); sorting
+// restores point order and matrix order within each point.
+func TestSortSweepResults(t *testing.T) {
+	rs := fixedSweepResults()
+	// Simulate completion-order delivery: points reversed, inner runs
+	// reversed.
+	shuffled := []sim.SweepResult{
+		{Point: rs[1].Point, Results: []sim.Result{rs[1].Results[1], rs[1].Results[0]}},
+		{Point: rs[0].Point, Results: []sim.Result{rs[0].Results[1], rs[0].Results[0]}},
+	}
+	sim.SortSweepResults(shuffled)
+	if shuffled[0].Point.Index != 0 || shuffled[1].Point.Index != 3 {
+		t.Fatalf("point order not restored: %d, %d", shuffled[0].Point.Index, shuffled[1].Point.Index)
+	}
+	for _, sr := range shuffled {
+		for i := 1; i < len(sr.Results); i++ {
+			if sr.Results[i-1].Seq > sr.Results[i].Seq {
+				t.Fatalf("point %d: run order not restored", sr.Point.Index)
+			}
+		}
+	}
+	// Sorted delivery emits identical bytes to matrix-order delivery.
+	var want, got bytes.Buffer
+	if err := sim.EmitAllSweep(sim.NewSweepCSVSink(&want, []string{"pvt.entries", "conf.bits"}), rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.EmitAllSweep(sim.NewSweepCSVSink(&got, []string{"pvt.entries", "conf.bits"}), shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("sorted stream should render identically:\n--- want ---\n%s\n--- got ---\n%s", want.String(), got.String())
+	}
+}
