@@ -19,6 +19,11 @@
 // instead of the cycle model; the IPC-based ablations need the
 // pipeline and are skipped in that mode.
 //
+// -workload swaps the benchmark set: any mix of spec files
+// (*.json/*.toml), registered workload names (all, int11, fp11) and
+// suite benchmark names, so every figure can be regenerated over
+// user-authored branch behaviours.
+//
 // Absolute rates depend on the synthetic SPEC2000 stand-in suite (see
 // DESIGN.md); the comparisons and their shapes are the reproduction
 // target, recorded in EXPERIMENTS.md.
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/sim"
 )
@@ -116,6 +122,7 @@ func main() {
 		all       = flag.Bool("all", false, "run everything")
 		commits   = flag.Uint64("n", 300000, "committed instructions per run")
 		profSteps = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
+		workload  = flag.String("workload", "", "comma-separated workload entries — spec files (*.json/*.toml), registered workload names (all, int11, fp11, ...), or benchmark names (empty = the full suite)")
 		format    = flag.String("format", "text", "output format: text | json | csv")
 		mode      = flag.String("mode", "pipeline", "execution mode: pipeline (cycle model) or trace (record-once trace replay; accuracy figures only, ~10-100x faster)")
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
@@ -158,7 +165,7 @@ func main() {
 	defer stop()
 	d.ctx = ctx
 
-	wl, err := sim.PrepareWorkload(nil, *profSteps)
+	wl, err := sim.PrepareWorkload(sim.SplitEntries(*workload), *profSteps)
 	if err != nil {
 		d.fatal(err)
 	}
@@ -271,7 +278,20 @@ func ablationSchemes() (split, selectOnly string) {
 // predication vs select µops (IPC), confidence counter width, and the
 // GHR corruption effect (repair on/off).
 func runAblations(d *driver) {
-	subset, err := d.workload.Subset("gzip", "vpr", "twolf", "parser", "swim", "mesa")
+	// The ablation subset is a fixed slice of the built-in suite; under
+	// a custom -workload only the members actually prepared can run.
+	want := []string{"gzip", "vpr", "twolf", "parser", "swim", "mesa"}
+	var have []string
+	for _, n := range want {
+		if _, ok := d.workload.Regions(n); ok {
+			have = append(have, n)
+		}
+	}
+	if len(have) == 0 {
+		d.text("Ablations need suite benchmarks (%s); none in this workload, skipped.\n\n", strings.Join(want, ", "))
+		return
+	}
+	subset, err := d.workload.Subset(have...)
 	if err != nil {
 		d.fatal(err)
 	}

@@ -8,8 +8,10 @@
 //
 //	predsim -bench vpr -scheme predpred -ifconvert -n 300000
 //	predsim -bench twolf -scheme conventional
+//	predsim -workload examples/customworkload/phasehop.json -mode trace
 //	predsim -list
 //	predsim -schemes
+//	predsim -workloads
 //	predsim -disasm -bench gzip | head -50
 package main
 
@@ -29,12 +31,14 @@ func main() {
 	var (
 		asmFile   = flag.String("asm", "", "assemble and run this file instead of a suite benchmark")
 		benchName = flag.String("bench", "gzip", "benchmark name (see -list)")
+		workload  = flag.String("workload", "", "run a workload entry instead of -bench: a spec file (*.json/*.toml), a registered workload name (see -workloads), or a benchmark name; must resolve to exactly one benchmark")
 		scheme    = flag.String("scheme", "predpred", "prediction scheme (see -schemes)")
 		ifconv    = flag.Bool("ifconvert", false, "run the if-converted binary (profile-guided)")
 		commits   = flag.Uint64("n", 300000, "committed-instruction budget")
 		profile   = flag.Uint64("profile", 200000, "profiling steps for if-conversion")
 		list      = flag.Bool("list", false, "list the benchmark suite and exit")
 		schemes   = flag.Bool("schemes", false, "list the registered prediction schemes and exit")
+		workloads = flag.Bool("workloads", false, "list the registered workloads and exit")
 		disasm    = flag.Bool("disasm", false, "disassemble the (possibly converted) binary and exit")
 		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
 		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
@@ -56,9 +60,28 @@ func main() {
 		}
 		return
 	}
+	if *workloads {
+		for _, n := range sim.WorkloadNames() {
+			w, _ := sim.ResolveWorkload(n)
+			fmt.Printf("%-14s %2d benchmarks  %s\n", n, len(w.Specs), w.Doc)
+		}
+		return
+	}
 
 	var prog *sim.Program
-	if *asmFile != "" {
+	if *workload != "" {
+		specs, err := sim.SuiteSpecs(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		if len(specs) != 1 {
+			fatal(fmt.Errorf("workload %q names %d benchmarks; predsim runs one (drive multi-benchmark workloads through cmd/experiments or cmd/sweep)", *workload, len(specs)))
+		}
+		prog, err = sim.BuildSpec(specs[0])
+		if err != nil {
+			fatal(err)
+		}
+	} else if *asmFile != "" {
 		text, err := os.ReadFile(*asmFile)
 		if err != nil {
 			fatal(err)

@@ -14,7 +14,15 @@
 //	sweep -axes pvt.entries=256,512,1024,2048 -schemes conventional,predpred,peppa -mode trace
 //	sweep -axes "pvt.entries=512,2048;conf.bits=1,2,3,4" -suite gzip,vpr,twolf
 //	sweep -axes pred.ghrbits=10,20,30 -sample 2 -seed 7 -format json
+//	sweep -axes conf.bits=1,2,3 -workload examples/customworkload/phasehop.json
+//	sweep -axes pvt.entries=512,3696 -workload int11
 //	sweep -knobs
+//
+// -suite and -workload entries are interchangeable: each may be a
+// suite benchmark name, a registered workload name (all, int11, fp11,
+// or anything sim.RegisterWorkload added), or the path of a
+// user-authored spec file (*.json / *.toml) — making every sweep a
+// two-axis study over config knobs × workload shape.
 //
 // A summary (best point per scheme plus per-axis marginal tables)
 // prints to stderr after the sweep, keeping stdout machine-readable.
@@ -36,6 +44,7 @@ func main() {
 		axesFlag  = flag.String("axes", "", `sweep axes: "knob=v1,v2,...", ";"-separated (see -knobs)`)
 		schemes   = flag.String("schemes", "conventional,predpred", "comma-separated prediction schemes")
 		suite     = flag.String("suite", "", "comma-separated benchmark subset (empty = full suite)")
+		workload  = flag.String("workload", "", "comma-separated extra workload entries — spec files (*.json/*.toml), registered workload names, or benchmark names — merged with -suite")
 		mode      = flag.String("mode", "trace", "execution mode: trace (record-once replay) or pipeline (cycle model)")
 		ifconv    = flag.Bool("ifconvert", false, "run the if-converted binary set")
 		commits   = flag.Uint64("n", 300000, "committed-instruction budget per run")
@@ -72,7 +81,7 @@ func main() {
 	}
 
 	opts := []sim.Option{
-		sim.WithSuite(split(*suite)...),
+		sim.WithSuite(append(split(*suite), split(*workload)...)...),
 		sim.WithSchemes(split(*schemes)...),
 		sim.WithIfConversion(*ifconv),
 		sim.WithCommits(*commits),
@@ -205,17 +214,8 @@ func parseAxes(s string) ([]axisSpec, error) {
 	return out, nil
 }
 
-// split is strings.Split that maps "" to nil instead of [""].
-func split(s string) []string {
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-	}
-	return parts
-}
+// split parses a comma-separated flag list ("" means nil).
+func split(s string) []string { return sim.SplitEntries(s) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)

@@ -13,28 +13,65 @@ package bench
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/program"
 )
 
-// Spec parameterizes one synthetic benchmark.
+// Spec parameterizes one synthetic benchmark. Specs are also a user
+// input: Load reads one from a JSON or TOML file and Validate range
+// checks every field, so sensitivity studies can target branch
+// behaviours the built-in suite never exercises. The zero values of
+// PhasePeriod and IndirTargets select the documented defaults.
 type Spec struct {
-	Name  string
-	Class string // "int" or "fp"
-	Seed  int64
+	Name  string `json:"name"`
+	Class string `json:"class"` // "int" or "fp"
+	Seed  int64  `json:"seed"`
 
-	Sites     int     // feature sites per loop body (static footprint)
-	HardFrac  float64 // fraction of sites with LCG-driven hard branches
-	BiasFrac  float64 // fraction with highly biased data branches
-	CorrFrac  float64 // fraction with correlated branch pairs
-	PatFrac   float64 // fraction with periodic (local-history) branches
-	FPFrac    float64 // fraction with FP work
-	MemFrac   float64 // fraction with memory walks
-	HoistFrac float64 // probability a compare is hoisted away from its branch
-	ArrayKB   int     // data footprint per array
-	Iters     int64   // outer loop trip count (harness stops on commit budget)
+	Sites     int     `json:"sites"`     // feature sites per loop body (static footprint)
+	HardFrac  float64 `json:"hardFrac"`  // fraction of sites with LCG-driven hard branches
+	BiasFrac  float64 `json:"biasFrac"`  // fraction with highly biased data branches
+	CorrFrac  float64 `json:"corrFrac"`  // fraction with correlated branch pairs
+	PatFrac   float64 `json:"patFrac"`   // fraction with periodic (local-history) branches
+	FPFrac    float64 `json:"fpFrac"`    // fraction with FP work
+	MemFrac   float64 `json:"memFrac"`   // fraction with memory walks
+	PhaseFrac float64 `json:"phaseFrac"` // fraction with phase-switching branches (periodic regime changes)
+	IndirFrac float64 `json:"indirFrac"` // fraction with indirect-branch dispatch tables
+	HoistFrac float64 `json:"hoistFrac"` // probability a compare is hoisted away from its branch
+	ArrayKB   int     `json:"arrayKB"`   // data footprint per array (power of two)
+	Iters     int64   `json:"iters"`     // outer loop trip count (harness stops on commit budget)
+
+	// PhasePeriod is the regime length of phase-switching sites in
+	// outer-loop iterations (power of two; 0 = DefaultPhasePeriod).
+	// Every PhasePeriod iterations the bias of every phase branch
+	// inverts, stressing predictor training and the delayed-training /
+	// GHR-repair windows of the trace replay engine.
+	PhasePeriod int64 `json:"phasePeriod"`
+	// IndirTargets is the jump-table size of indirect-branch sites
+	// (power of two, 2..16; 0 = DefaultIndirTargets).
+	IndirTargets int `json:"indirTargets"`
+}
+
+// Defaults for the zero values of the optional behaviour knobs.
+const (
+	DefaultPhasePeriod  = 256
+	DefaultIndirTargets = 4
+)
+
+// withDefaults resolves the zero values of optional knobs; Build and
+// Validate both see the same effective spec.
+func (s Spec) withDefaults() Spec {
+	if s.PhasePeriod == 0 {
+		s.PhasePeriod = DefaultPhasePeriod
+	}
+	if s.IndirTargets == 0 {
+		s.IndirTargets = DefaultIndirTargets
+	}
+	return s
 }
 
 // Suite returns the 22-benchmark suite: 11 integer and 11 floating
@@ -144,14 +181,27 @@ func Suite() []Spec {
 	return specs
 }
 
-// Find returns the spec with the given name.
+// Names returns the suite benchmark names in stable sorted order.
+func Names() []string {
+	specs := Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Find returns the spec with the given name. An unknown name is an
+// error that lists the valid suite names (sorted), so a typo on a CLI
+// flag or in a workload definition is immediately actionable.
 func Find(name string) (Spec, error) {
 	for _, s := range Suite() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("bench: unknown benchmark %q", name)
+	return Spec{}, fmt.Errorf("bench: unknown benchmark %q (suite: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Register plan for generated programs. Registers below 10 are global
@@ -283,6 +333,7 @@ func (g *gen) reg() isa.Reg {
 
 // Build generates the program for a spec.
 func Build(spec Spec) *program.Program {
+	spec = spec.withDefaults()
 	g := &gen{
 		b:     program.NewBuilder(spec.Name),
 		rng:   rand.New(rand.NewSource(spec.Seed)),
@@ -351,29 +402,60 @@ const (
 	sitePattern
 	siteFP
 	siteMem
+	sitePhase
+	siteIndirect
 	siteLoop
 )
 
-// siteMix builds the deterministic per-body site-type sequence: exact
-// counts derived from the spec fractions (remainder filled with inner
-// loops), shuffled by the benchmark seed.
-func (g *gen) siteMix() []int {
-	s := g.spec
-	counts := []struct {
-		kind int
-		frac float64
-	}{
-		{siteHard, s.HardFrac}, {siteBias, s.BiasFrac}, {siteCorr, s.CorrFrac},
-		{sitePattern, s.PatFrac}, {siteFP, s.FPFrac}, {siteMem, s.MemFrac},
+// siteAlloc is one family's allocation in the deterministic site mix.
+type siteAlloc struct {
+	kind  int
+	field string // spec field name, for validation diagnostics
+	frac  float64
+	n     int // sites actually allocated after the Sites cap
+}
+
+// allocSites computes the per-family site allocation: exact rounded
+// counts from the spec fractions, truncated in declaration order once
+// the Sites budget is exhausted (several built-in benchmarks
+// deliberately oversubscribe by a site or two; the remainder of an
+// undersubscribed budget is filled with inner loops). Validate uses
+// the same allocation to reject specs whose requested families would
+// be truncated to nothing.
+func allocSites(s Spec) []siteAlloc {
+	fams := []siteAlloc{
+		{kind: siteHard, field: "HardFrac", frac: s.HardFrac},
+		{kind: siteBias, field: "BiasFrac", frac: s.BiasFrac},
+		{kind: siteCorr, field: "CorrFrac", frac: s.CorrFrac},
+		{kind: sitePattern, field: "PatFrac", frac: s.PatFrac},
+		{kind: siteFP, field: "FPFrac", frac: s.FPFrac},
+		{kind: siteMem, field: "MemFrac", frac: s.MemFrac},
+		{kind: sitePhase, field: "PhaseFrac", frac: s.PhaseFrac},
+		{kind: siteIndirect, field: "IndirFrac", frac: s.IndirFrac},
 	}
+	used := 0
+	for i := range fams {
+		n := int(fams[i].frac*float64(s.Sites) + 0.5)
+		if n > s.Sites-used {
+			n = s.Sites - used
+		}
+		fams[i].n = n
+		used += n
+	}
+	return fams
+}
+
+// siteMix builds the deterministic per-body site-type sequence from
+// the allocation (remainder filled with inner loops), shuffled by the
+// benchmark seed.
+func (g *gen) siteMix() []int {
 	var mix []int
-	for _, c := range counts {
-		n := int(c.frac*float64(s.Sites) + 0.5)
-		for i := 0; i < n && len(mix) < s.Sites; i++ {
-			mix = append(mix, c.kind)
+	for _, f := range allocSites(g.spec) {
+		for i := 0; i < f.n; i++ {
+			mix = append(mix, f.kind)
 		}
 	}
-	for len(mix) < s.Sites {
+	for len(mix) < g.spec.Sites {
 		mix = append(mix, siteLoop)
 	}
 	g.rng.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
@@ -407,6 +489,10 @@ func (g *gen) emitSite(kind int) {
 		g.fpWork()
 	case siteMem:
 		g.memWalk()
+	case sitePhase:
+		g.phaseBranch()
+	case siteIndirect:
+		g.indirectDispatch()
 	default:
 		g.loopNest()
 	}
@@ -640,6 +726,74 @@ func (g *gen) memWalk() {
 	b.Label(cont)
 	b.AddI(d, d, 2)
 	b.AddI(d, d, 3)
+}
+
+// phaseBranch: a biased hammock whose bias INVERTS every PhasePeriod
+// outer iterations — taken ~87% in even regimes, ~13% in odd ones.
+// Each regime flip invalidates everything the predictors learned about
+// the site, so phase-heavy workloads stress retraining speed and the
+// delayed-training / GHR-repair windows of the trace replay engine,
+// a behaviour family the fixed suite never exercises.
+func (g *gen) phaseBranch() {
+	b, rng := g.b, g.rng
+	// regime = (rIter / PhasePeriod) & 1; the period is a validated
+	// power of two, so the division is a shift.
+	regime := g.reg()
+	b.ShrI(regime, rIter, int64(bits.TrailingZeros64(uint64(g.spec.PhasePeriod))))
+	b.AndI(regime, regime, 1)
+	// c = ((bits & 7) + 7) >> 3: 1 unless all three LCG bits are zero,
+	// i.e. set with probability 7/8 — then XOR the regime bit to flip
+	// the bias each phase.
+	g.lcgStep()
+	c := g.reg()
+	b.ShrI(c, rLCG, int64(24+rng.Intn(16)))
+	b.AndI(c, c, 7)
+	b.AddI(c, c, 7)
+	b.ShrI(c, c, 3)
+	b.Xor(c, c, regime)
+	pT, pF := g.predPair()
+	b.CmpI(isa.RelNE, isa.CmpUnc, pT, pF, c, 0)
+	g.hoistFiller()
+	skip := g.label("phskip")
+	b.G(pT).Br(skip)
+	b.AddI(rAcc, rAcc, 1)
+	b.Label(skip)
+}
+
+// indirCaseLen is the padded instruction count of one indirect-dispatch
+// case block (three filler ops plus the join branch), so the block for
+// selector k sits exactly k*indirCaseLen past the table label and the
+// target address is pure arithmetic off the materialized label.
+const indirCaseLen = 4
+
+// indirectDispatch: a polymorphic indirect branch through an
+// IndirTargets-entry jump table, selected by pseudo-random LCG bits —
+// the switch-statement workload. The trace format already records
+// EvBrInd targets; these sites make the replay engine's indirect-target
+// table earn them.
+func (g *gen) indirectDispatch() {
+	b, rng := g.b, g.rng
+	n := g.spec.IndirTargets
+	g.lcgStep()
+	k := g.reg()
+	b.ShrI(k, rLCG, int64(18+rng.Intn(12)))
+	b.AndI(k, k, int64(n-1))
+	off := g.reg()
+	b.MulI(off, k, indirCaseLen)
+	tgt := g.reg()
+	tbl, join := g.label("itbl"), g.label("ijoin")
+	b.MovL(tgt, tbl)
+	b.Add(tgt, tgt, off)
+	b.BrInd(tgt)
+	b.Label(tbl)
+	d := g.reg()
+	for i := 0; i < n; i++ {
+		b.AddI(d, d, int64(i+1))
+		b.XorI(d, d, int64(2*i+1))
+		b.SubI(d, d, int64(i))
+		b.Br(join)
+	}
+	b.Label(join)
 }
 
 // loopNest: a short constant-trip inner loop (classic predictable

@@ -218,6 +218,13 @@ func Convert(p *program.Program, opts Options) (*Result, error) {
 			in.Target = newIdx[in.Target]
 			in.Label = ""
 		}
+		if in.Op == isa.OpMovI && in.Label != "" {
+			// A materialized label address (Builder.MovL): the label's
+			// index is the architectural value, so renumbering must
+			// rewrite the immediate along with the bookkeeping target.
+			in.Target = newIdx[in.Target]
+			in.Imm = int64(in.Target)
+		}
 		out.Append(in)
 	}
 	for l, idx := range p.Labels {

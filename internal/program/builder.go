@@ -122,6 +122,14 @@ func (b *Builder) MovI(rd isa.Reg, imm int64) *Builder {
 	return b.emit(isa.Inst{Op: isa.OpMovI, Rd: rd, Imm: imm})
 }
 
+// MovL materializes a label's instruction index into a register — the
+// target-table source for indirect branches (BrInd). The immediate is
+// filled by Resolve; the label sticks to the instruction so transforms
+// that renumber the program (if-conversion) can remap it.
+func (b *Builder) MovL(rd isa.Reg, label string) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMovI, Rd: rd, Label: label})
+}
+
 // Memory.
 
 func (b *Builder) Load(rd, base isa.Reg, off int64) *Builder {

@@ -1,0 +1,36 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestMovLMaterializesLabelAddress(t *testing.T) {
+	b := NewBuilder("movl")
+	b.MovL(1, "tbl").
+		BrInd(1).
+		Label("tbl").
+		AddI(2, 2, 1).
+		Halt()
+	p := b.Program()
+	in := p.At(0)
+	if in.Op != isa.OpMovI {
+		t.Fatalf("MovL emitted %v", in.Op)
+	}
+	want := int64(p.Labels["tbl"])
+	if in.Imm != want || int64(in.Target) != want {
+		t.Errorf("MovL resolved to Imm=%d Target=%d, want %d", in.Imm, in.Target, want)
+	}
+	if in.Label != "tbl" {
+		t.Errorf("label %q dropped; renumbering transforms need it", in.Label)
+	}
+}
+
+func TestMovLUndefinedLabel(t *testing.T) {
+	b := NewBuilder("movl-bad")
+	b.MovL(1, "nowhere").Halt()
+	if err := b.Raw().Resolve(); err == nil {
+		t.Fatal("undefined MovL label must fail resolution")
+	}
+}

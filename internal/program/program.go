@@ -56,6 +56,11 @@ func (p *Program) Resolve() error {
 			return fmt.Errorf("program %s: undefined label %q at @%d", p.Name, in.Label, i)
 		}
 		in.Target = t
+		if in.Op == isa.OpMovI {
+			// A label-address materialization (Builder.MovL): the label's
+			// index is the architectural value, carried in Imm.
+			in.Imm = int64(t)
+		}
 	}
 	return p.Validate()
 }

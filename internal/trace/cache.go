@@ -27,7 +27,10 @@ const EnvDir = "PREDSIM_TRACE_DIR"
 
 // DefaultDir returns the trace cache directory: $PREDSIM_TRACE_DIR,
 // else the user cache dir, else a temp-dir fallback. The directory is
-// not created until Store needs it.
+// not created until Store needs it. The temp-dir fallback is suffixed
+// with the UID: the temp dir is typically shared across users on
+// multi-user hosts, and an unsuffixed path would let one user's cache
+// (created 0700, see Store) block every other user's Store calls.
 func DefaultDir() string {
 	if d := os.Getenv(EnvDir); d != "" {
 		return d
@@ -35,7 +38,7 @@ func DefaultDir() string {
 	if d, err := os.UserCacheDir(); err == nil {
 		return filepath.Join(d, "predsim", "traces")
 	}
-	return filepath.Join(os.TempDir(), "predsim-traces")
+	return filepath.Join(os.TempDir(), fmt.Sprintf("predsim-traces-%d", os.Getuid()))
 }
 
 // Key derives a stable cache key from its parts (benchmark spec,
@@ -67,9 +70,12 @@ func Load(dir, key string) (*Trace, error) {
 }
 
 // Store writes a trace into the cache atomically (temp file + rename),
-// so concurrent writers and readers never see a torn file.
+// so concurrent writers and readers never see a torn file. Cache
+// directories are created private (0700): traces reveal which
+// workloads a user runs, and nothing but this process needs to read
+// them.
 func Store(dir, key string, t *Trace) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return fmt.Errorf("trace: cache dir: %w", err)
 	}
 	tmp, err := os.CreateTemp(dir, key+".tmp-*")

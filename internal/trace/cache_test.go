@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestDefaultDirFallbackIsPerUser(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("unix-style cache-dir resolution")
+	}
+	// With no env override and no resolvable user cache dir, the
+	// fallback must land in a per-UID temp directory, not a path shared
+	// by every user of the host.
+	t.Setenv(EnvDir, "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	t.Setenv("HOME", "")
+	d := DefaultDir()
+	want := fmt.Sprintf("predsim-traces-%d", os.Getuid())
+	if filepath.Base(d) != want {
+		t.Errorf("fallback dir = %q, want basename %q", d, want)
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	t.Setenv(EnvDir, "/some/where")
+	if d := DefaultDir(); d != "/some/where" {
+		t.Errorf("DefaultDir = %q with %s set", d, EnvDir)
+	}
+}
+
+func TestStoreCreatesPrivateDir(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("unix permission bits")
+	}
+	dir := filepath.Join(t.TempDir(), "cache", "traces")
+	if err := Store(dir, Key("perm-test"), &Trace{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	for p := dir; len(p) > len(t.TempDir()); p = filepath.Dir(p) {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fi.Mode().Perm(); got != 0o700 {
+			t.Errorf("%s created with mode %o, want 0700", p, got)
+		}
+	}
+	if _, err := Load(dir, Key("perm-test")); err != nil {
+		t.Fatalf("round-trip load: %v", err)
+	}
+}

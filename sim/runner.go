@@ -119,7 +119,7 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 	wl := e.workload
 	if wl == nil {
 		var err error
-		wl, err = PrepareWorkloadContext(ctx, e.suite, e.profileSteps)
+		wl, err = prepareSpecs(ctx, e.suiteSpecs, e.profileSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// rate's divide-by-zero guard is what keeps MemStats usable on trace
+// runs, where no memory hierarchy exists and every counter is zero.
+func TestRate(t *testing.T) {
+	cases := []struct {
+		miss, acc uint64
+		want      float64
+	}{
+		{0, 0, 0}, // zero accesses: guarded, not NaN
+		{5, 0, 0}, // miss counter without accesses still must not divide
+		{0, 100, 0},
+		{25, 100, 0.25},
+		{100, 100, 1},
+		{1, 3, 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		got := rate(c.miss, c.acc)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("rate(%d, %d) = %v, want finite", c.miss, c.acc, got)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("rate(%d, %d) = %v, want %v", c.miss, c.acc, got, c.want)
+		}
+	}
+}
+
+func TestMemStatsMissRates(t *testing.T) {
+	m := MemStats{
+		L1IAccesses: 1000, L1IMisses: 10,
+		L1DAccesses: 400, L1DMisses: 100,
+		L2Accesses: 110, L2Misses: 11,
+	}
+	if got := m.L1IMissRate(); got != 0.01 {
+		t.Errorf("L1IMissRate = %v, want 0.01", got)
+	}
+	if got := m.L1DMissRate(); got != 0.25 {
+		t.Errorf("L1DMissRate = %v, want 0.25", got)
+	}
+	if got := m.L2MissRate(); got != 0.1 {
+		t.Errorf("L2MissRate = %v, want 0.1", got)
+	}
+}
+
+func TestMemStatsZeroValue(t *testing.T) {
+	// The zero MemStats of a trace-mode Result: every helper must
+	// return 0, not NaN (sinks serialize these into JSON, where NaN is
+	// unrepresentable).
+	var m MemStats
+	for name, got := range map[string]float64{
+		"L1IMissRate": m.L1IMissRate(),
+		"L1DMissRate": m.L1DMissRate(),
+		"L2MissRate":  m.L2MissRate(),
+	} {
+		if got != 0 {
+			t.Errorf("%s on zero MemStats = %v, want 0", name, got)
+		}
+	}
+}

@@ -104,12 +104,31 @@ func BuildBenchmark(name string) (*Program, error) {
 	return bench.Build(spec), nil
 }
 
+// LoadBenchSpec reads and validates one user-authored benchmark spec
+// from a JSON or TOML file (see DESIGN.md "Workloads" for the format).
+func LoadBenchSpec(path string) (BenchSpec, error) { return bench.Load(path) }
+
+// ValidateBenchSpec range checks every field of a spec, returning an
+// error that names the offending field and its legal range.
+func ValidateBenchSpec(s BenchSpec) error { return bench.Validate(s) }
+
+// BuildSpec validates a benchmark spec (range checks plus the
+// site-allocation guard, built-in suite specs exempt from the latter)
+// and generates its (non-if-converted) binary.
+func BuildSpec(s BenchSpec) (*Program, error) {
+	if err := checkSpec(s); err != nil {
+		return nil, err
+	}
+	return bench.Build(s), nil
+}
+
 // Experiment is an immutable description of a benchmark × scheme
 // simulation matrix. Build one with New and run it with Start (for
 // streaming results) or Run (for a sorted slice).
 type Experiment struct {
-	suite        []string // benchmark names; empty = full suite
-	schemes      []string // registry scheme names
+	suite        []string    // suite entries as given; empty = full suite
+	suiteSpecs   []BenchSpec // entries resolved at New time (nil when workload is set)
+	schemes      []string    // registry scheme names
 	ifConverted  bool
 	tag          string
 	commits      uint64
@@ -147,17 +166,25 @@ func New(opts ...Option) (*Experiment, error) {
 		}
 	}
 	if e.workload == nil {
-		for _, n := range e.suite {
-			if _, err := bench.Find(n); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
-			}
+		// Resolve every suite entry — benchmark names, workload registry
+		// names, spec files — now, so a typo fails at build time instead
+		// of mid-prepare. Start prepares from the resolved specs, not
+		// the entries: a spec file edited or deleted between New and
+		// Start cannot change (or break) the experiment.
+		specs, err := expandSuite(e.suite)
+		if err != nil {
+			return nil, err
 		}
+		e.suiteSpecs = specs
 	}
 	return e, nil
 }
 
-// WithSuite restricts the experiment to the named suite benchmarks (in
-// the given order). With no arguments the full suite runs.
+// WithSuite restricts the experiment to the named benchmarks (in the
+// given order). Each entry may be a suite benchmark name, a registered
+// workload name ("all", "int11", "fp11", or anything RegisterWorkload
+// added), or a spec file path (*.json / *.toml). With no arguments the
+// full suite runs.
 func WithSuite(names ...string) Option {
 	return func(e *Experiment) error {
 		e.suite = append([]string(nil), names...)

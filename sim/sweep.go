@@ -364,7 +364,7 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 	wl := e.workload
 	if wl == nil {
 		var err error
-		wl, err = PrepareWorkloadContext(ctx, e.suite, e.profileSteps)
+		wl, err = prepareSpecs(ctx, e.suiteSpecs, e.profileSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -85,8 +85,12 @@ func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted b
 		prog = pg.Converted
 	}
 	hash := trace.HashProgram(prog)
+	// The key carries the full spec hash (every generator knob,
+	// including the optional behaviour fields at their resolved
+	// defaults), so user-authored workloads — which are free to reuse a
+	// built-in name with different parameters — cache correctly.
 	key := trace.Key(
-		fmt.Sprintf("spec=%+v", pg.Spec),
+		fmt.Sprintf("spec=%016x", pg.Spec.Hash()),
 		fmt.Sprintf("profile=%d", p.profileSteps),
 		fmt.Sprintf("converted=%v", converted),
 		fmt.Sprintf("prog=%016x", hash),
