@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -58,12 +59,36 @@ type drift struct {
 	Ratio    float64
 }
 
-// compare returns every entry of the chosen metric whose new/old
-// ratio falls outside [1-tol, 1+tol], plus the keys present in one
-// document but not the other (also failures: a vanished series hides
-// regressions).
-func compare(old, fresh benchDoc, metric string, tol float64) (drifts []drift, missing []string) {
+// comparison is the outcome of gating one metric: entries outside the
+// tolerance band, keys present in only one document (named with the
+// side they are missing from, so a dropped scheme cannot sneak past the
+// gate), and keys whose baseline figure cannot anchor a ratio at all.
+type comparison struct {
+	drifts  []drift
+	missing []string // asymmetric key sets, each naming the absent side
+	invalid []string // zero/negative/non-finite baseline figures
+}
+
+func (c comparison) failed() bool {
+	return len(c.drifts) > 0 || len(c.missing) > 0 || len(c.invalid) > 0
+}
+
+// compare gates the chosen metric: the two documents' key sets must
+// match exactly (a key present on one side only is a failure naming the
+// side — a vanished series hides regressions, an appeared one means the
+// baseline is stale), every baseline figure must be a positive finite
+// number (anything else cannot anchor a drift ratio and is reported as
+// an invalid baseline instead of dividing into Inf/NaN), and every
+// new/old ratio must fall inside [1-tol, 1+tol]. A metric with no
+// baseline series at all is an error, not a trivially green gate.
+func compare(old, fresh benchDoc, metric string, tol float64) (comparison, error) {
 	os, ns := old.series(metric), fresh.series(metric)
+	if len(os) == 0 {
+		return comparison{}, fmt.Errorf("baseline document has no %s series to gate against", metric)
+	}
+	if len(ns) == 0 {
+		return comparison{}, fmt.Errorf("fresh document has no %s series", metric)
+	}
 	keys := map[string]bool{}
 	for k := range os {
 		keys[k] = true
@@ -76,19 +101,25 @@ func compare(old, fresh benchDoc, metric string, tol float64) (drifts []drift, m
 		sorted = append(sorted, k)
 	}
 	sort.Strings(sorted)
+	var c comparison
 	for _, k := range sorted {
 		o, okOld := os[k]
 		n, okNew := ns[k]
-		if !okOld || !okNew || o <= 0 {
-			missing = append(missing, k)
-			continue
-		}
-		ratio := n / o
-		if ratio < 1-tol || ratio > 1+tol {
-			drifts = append(drifts, drift{Key: k, Old: o, New: n, Ratio: ratio})
+		switch {
+		case !okOld:
+			c.missing = append(c.missing, k+" (absent from baseline)")
+		case !okNew:
+			c.missing = append(c.missing, k+" (absent from fresh run)")
+		case o <= 0 || math.IsNaN(o) || math.IsInf(o, 0):
+			c.invalid = append(c.invalid, fmt.Sprintf("%s (baseline %v is not a positive finite figure)", k, o))
+		default:
+			ratio := n / o
+			if ratio < 1-tol || ratio > 1+tol {
+				c.drifts = append(c.drifts, drift{Key: k, Old: o, New: n, Ratio: ratio})
+			}
 		}
 	}
-	return drifts, missing
+	return c, nil
 }
 
 func load(path string) (benchDoc, error) {
@@ -134,20 +165,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	drifts, missing := compare(old, fresh, *metric, *tol)
-	for _, m := range missing {
-		fmt.Printf("UNCOMPARABLE %-24s absent from one document, or zero/negative baseline\n", m)
+	c, err := compare(old, fresh, *metric, *tol)
+	if err != nil {
+		fatal(err)
 	}
-	for _, d := range drifts {
+	for _, m := range c.missing {
+		fmt.Printf("MISSING          %s\n", m)
+	}
+	for _, m := range c.invalid {
+		fmt.Printf("INVALID BASELINE %s\n", m)
+	}
+	for _, d := range c.drifts {
 		verdict := "REGRESSION"
 		if d.Ratio > 1 {
 			verdict = "STALE BASELINE"
 		}
-		fmt.Printf("%-14s %-24s %.4g -> %.4g %s (%.2fx, tolerance ±%.0f%%)\n",
+		fmt.Printf("%-16s %-24s %.4g -> %.4g %s (%.2fx, tolerance ±%.0f%%)\n",
 			verdict, d.Key, d.Old, d.New, *metric, d.Ratio, *tol*100)
 	}
-	if len(drifts) > 0 || len(missing) > 0 {
-		fmt.Printf("benchgate: %d drift(s), %d missing series\n", len(drifts), len(missing))
+	if c.failed() {
+		fmt.Printf("benchgate: %d drift(s), %d missing series, %d invalid baseline(s)\n",
+			len(c.drifts), len(c.missing), len(c.invalid))
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d %s series within ±%.0f%% of %s\n",

@@ -104,10 +104,31 @@ func (p *Perceptron) IndexSecond(pc uint64) int {
 	return (i + p.rows/2) % p.rows
 }
 
+// hist packs the global and local history bits into one word in weight
+// order (ghr bits 0..ghrBits-1, then lhr bits 0..lhrBits-1), so the
+// predict/train loops walk a single shift register branchlessly. Only
+// valid when the combined history fits a word; callers fall back to the
+// two-loop form otherwise.
+func (p *Perceptron) hist(ghr, lhr uint64) uint64 {
+	return ghr&(1<<p.ghrBits-1) | lhr&(1<<p.lhrBits-1)<<p.ghrBits
+}
+
 // PredictRow computes the perceptron output for an explicit row.
 func (p *Perceptron) PredictRow(row int, ghr uint64, lhr uint64) PerceptronOutput {
 	w := p.weights[row*p.perRow : row*p.perRow+p.perRow]
 	sum := int32(w[0]) // bias
+	if p.ghrBits+p.lhrBits < 64 {
+		// Branchless hot path: m is 0 when the history bit is set (add
+		// the weight) and -1 when clear ((x^-1)-(-1) = -x), so the sum
+		// accumulates ±weight without a data-dependent branch per bit.
+		h := p.hist(ghr, lhr)
+		for _, x := range w[1:] {
+			m := int32(h&1) - 1
+			sum += (int32(x) ^ m) - m
+			h >>= 1
+		}
+		return PerceptronOutput{Taken: sum >= 0, Sum: sum}
+	}
 	k := 1
 	for i := uint(0); i < p.ghrBits; i++ {
 		if ghr>>i&1 == 1 {
@@ -142,6 +163,28 @@ func (p *Perceptron) TrainRow(row int, ghr, lhr uint64, taken bool, out Perceptr
 	}
 	w := p.weights[row*p.perRow : row*p.perRow+p.perRow]
 	w[0] = bump(w[0], taken)
+	if p.ghrBits+p.lhrBits < 64 {
+		// Branchless agreement: t repeats the outcome bit, so h&1^t is
+		// 1 exactly when the history bit disagrees with the outcome and
+		// d is ∓1 accordingly; only the (rare) clamp branches remain.
+		h := p.hist(ghr, lhr)
+		t := uint64(0)
+		if taken {
+			t = 1
+		}
+		for k := range w[1:] {
+			d := int32(h&1^t)*-2 + 1
+			v := int32(w[k+1]) + d
+			if v > 127 {
+				v = 127
+			} else if v < -128 {
+				v = -128
+			}
+			w[k+1] = int8(v)
+			h >>= 1
+		}
+		return
+	}
 	k := 1
 	for i := uint(0); i < p.ghrBits; i++ {
 		w[k] = bump(w[k], taken == (ghr>>i&1 == 1))

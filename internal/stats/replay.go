@@ -13,10 +13,13 @@ import (
 	"repro/internal/trace"
 )
 
-// replayChunk is the event-count slice between context checks during
-// trace replay (~100k instructions of typical event density, a few
-// milliseconds of replay).
-const replayChunk = 1 << 14
+// batchEvents is the shared-cursor decode granularity: the varint event
+// stream is decoded once into a reused buffer of this many events, the
+// scheme-independent frontend annotates the batch in stream order, and
+// every scheme engine then replays the same decoded batch. Cancellation
+// is checked once per batch, so even a full-suite replay stops within
+// milliseconds of a cancel.
+const batchEvents = 1024
 
 // The replay engine's three timing-model constants. They stand in for
 // pipeline properties a functional trace cannot carry, and are
@@ -51,55 +54,90 @@ const (
 	repairWindow            = 8
 )
 
-// replayer is the trace-driven predictor engine: it replays a recorded
-// committed-instruction stream through one predictor organization in
-// commit order with immediate training, touching none of the
-// out-of-order machinery. See DESIGN.md ("Execution modes") for the
-// fidelity contract: commit-order predictor state evolution is exact
-// (wrong-path speculation is invisible to training, and speculative
-// history pushes resolve to committed outcomes), while effects that
-// depend on in-flight overlap — training delay between fetch and
-// commit, early-resolution timing — are modeled, not simulated.
-type replayer struct {
-	cfg config.Config
-
-	// Architectural predicate state reconstructed from compare records.
-	predVal [isa.NumPred]bool // committed value
-	prevVal [isa.NumPred]bool // value before the most recent write (PEP-PA's selector)
-
-	// PPRF prediction mirror: the predicted value a speculative
-	// consumer would read for each architectural predicate, the
-	// prediction's confidence, and the committed-instruction position
-	// of the renaming compare (for the resolution model).
-	predPred [isa.NumPred]bool
-	predConf [isa.NumPred]bool
+// frontend is the scheme-independent half of the replay engine: the
+// architectural predicate state reconstructed from compare records, the
+// committed-instruction step counter, and the renaming-position table
+// of the shared resolution model (in which nothing cancels, so every
+// compare renames — exact for every scheme except selective
+// predication, which keeps a cancellation-aware copy per engine). In a
+// single-pass multi-scheme replay this state is computed once per event
+// and its per-event products are materialized as notes, so N engines
+// consume one frontend pass.
+type frontend struct {
+	predVal  [isa.NumPred]bool   // committed value
+	prevVal  [isa.NumPred]bool   // value before the most recent write (PEP-PA's selector)
 	prodStep [isa.NumPred]uint64 // 1 + step of the last renamer; 0 = none
+	step     uint64              // committed-instruction position of the current event
+}
 
-	step uint64 // committed-instruction position of the current event
+// note is the frontend's per-event annotation: everything a scheme
+// engine reads from shared architectural state, captured at the event's
+// position in the stream so engines can replay a decoded batch after
+// the frontend has already advanced past it.
+type note struct {
+	step uint64
+	// EvCompare: the compare's two training values, resolved exactly as
+	// the pipeline's execute stage does (a written destination takes the
+	// outcome value, an unwritten valid destination keeps its old
+	// read-modify-write value, and a p0 destination trains on the raw
+	// outcome value).
+	res1, res2 bool
+	// EvCondBr: PEP-PA's local-history selector — the guard's previous
+	// definition, or its committed value once the in-flight producer is
+	// modeled as resolved.
+	sel bool
+}
 
-	// Scheme state (one second-level active, as in the pipeline).
-	twolevel *predictor.TwoLevel
-	pep      *peppa.Predictor
-	pp       *core.Predictor
-	pGHR     predictor.History // speculative-with-repair history mirror
-	retired  predictor.History // commit-order history (perfect-GHR idealization)
+// resolved reports whether predicate p's producing compare is modeled
+// as resolved (written back) before the current instruction renames: no
+// in-flight producer, or a producer at least earlyResolveDist committed
+// instructions upstream.
+func (f *frontend) resolved(p uint8) bool {
+	last := f.prodStep[p]
+	return last == 0 || f.step-last >= earlyResolveDist
+}
 
-	shadow    *predictor.TwoLevel // Figure 6b shadow (predicate scheme)
-	shadowGHR predictor.History
-
-	// Delayed-training queue and speculative-GHR ring (predicate
-	// scheme): see the timing-model constants above. Both are
-	// head-indexed queues compacted in place, so steady-state replay
-	// does not allocate.
-	trainQ     []pendingTrain
-	trainQHead int
-	ghrRing    []specBit
-	ringHead   int
-
-	ras  *predictor.RAS
-	itab *predictor.IndirectTable
-
-	st pipeline.Stats
+// annotate computes one event's note and advances the shared
+// architectural state. It must be called in stream order, before any
+// engine replays the event.
+func (f *frontend) annotate(ev *trace.Event, nt *note) {
+	nt.step = f.step
+	switch ev.Kind {
+	case trace.EvCompare:
+		res1, res2 := ev.Out.Val1, ev.Out.Val2
+		if !ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
+			res1 = f.predVal[ev.P1]
+		}
+		if !ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
+			res2 = f.predVal[ev.P2]
+		}
+		nt.res1, nt.res2 = res1, res2
+		// Renaming position under the shared resolution model (without
+		// selective predication nothing cancels and every compare
+		// renames).
+		if ev.P1 != uint8(isa.P0) {
+			f.prodStep[ev.P1] = f.step
+		}
+		if ev.P2 != uint8(isa.P0) {
+			f.prodStep[ev.P2] = f.step
+		}
+		// Architectural predicate update (after resolving RMW old
+		// values).
+		if ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
+			f.prevVal[ev.P1] = f.predVal[ev.P1]
+			f.predVal[ev.P1] = ev.Out.Val1
+		}
+		if ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
+			f.prevVal[ev.P2] = f.predVal[ev.P2]
+			f.predVal[ev.P2] = ev.Out.Val2
+		}
+	case trace.EvCondBr:
+		sel := f.prevVal[ev.QP]
+		if f.resolved(ev.QP) {
+			sel = f.predVal[ev.QP]
+		}
+		nt.sel = sel
+	}
 }
 
 // pendingTrain is one compare's deferred predicate-predictor training.
@@ -117,28 +155,85 @@ type specBit struct {
 	repair    bool
 }
 
-func newReplayer(cfg config.Config) (*replayer, error) {
+// schemeEngine is the per-scheme half of the trace-driven predictor
+// engine: one predictor organization replayed in commit order with
+// immediate training, touching none of the out-of-order machinery. The
+// scheme-independent state lives in the frontend; what remains here is
+// the second-level predictor, the PPRF prediction mirror, the
+// delayed-training queue, the speculative-GHR ring and the shadow
+// predictor — everything whose evolution depends on the organization
+// under test. See DESIGN.md ("Execution modes") for the fidelity
+// contract: commit-order predictor state evolution is exact (wrong-path
+// speculation is invisible to training, and speculative history pushes
+// resolve to committed outcomes), while effects that depend on
+// in-flight overlap — training delay between fetch and commit,
+// early-resolution timing — are modeled, not simulated.
+type schemeEngine struct {
+	cfg config.Config
+
+	// PPRF prediction mirror (predicate scheme): the predicted value a
+	// speculative consumer would read for each architectural predicate
+	// and the prediction's confidence.
+	predPred [isa.NumPred]bool
+	predConf [isa.NumPred]bool
+	// Cancellation-aware renaming positions (predicate scheme): like
+	// the frontend's table, but a rename-canceled compare does not
+	// rename, so selective predication needs its own copy.
+	prodStep [isa.NumPred]uint64
+
+	// Scheme state (one second-level active, as in the pipeline).
+	twolevel *predictor.TwoLevel
+	pep      *peppa.Predictor
+	pp       *core.Predictor
+	pGHR     predictor.History // speculative-with-repair history mirror
+	retired  predictor.History // commit-order history (perfect-GHR idealization)
+
+	shadow    *predictor.TwoLevel // Figure 6b shadow (predicate scheme)
+	shadowGHR predictor.History
+
+	// Delayed-training queue (predicate scheme): a fixed circular
+	// buffer — the drain-before-push in the compare path bounds the
+	// live length at trainWindow — so steady-state replay does not
+	// allocate.
+	trainQ    [trainWindow]pendingTrain
+	trainHead int
+	trainLen  int
+
+	// Speculative-GHR ring (predicate scheme), bounded at repairWindow
+	// live bits. ringBits mirrors the live entries' predicted values
+	// (oldest at the highest bit) so composing the fetched-compare
+	// history is O(1) instead of a ring walk.
+	ring     [repairWindow]specBit
+	ringHead int
+	ringLen  int
+	ringBits uint64
+
+	ras  *predictor.RAS
+	itab *predictor.IndirectTable
+
+	st pipeline.Stats
+}
+
+func newSchemeEngine(cfg config.Config) (*schemeEngine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &replayer{
+	e := &schemeEngine{
 		cfg:  cfg,
 		ras:  predictor.NewRAS(cfg.RASEntries),
 		itab: predictor.NewIndirectTable(10),
 	}
-	r.pGHR.N = cfg.L2PredGHRBits
-	r.retired.N = cfg.L2PredGHRBits
-	r.predVal[isa.P0] = true
-	r.prevVal[isa.P0] = true
-	r.predPred[isa.P0] = true
+	e.pGHR.N = cfg.L2PredGHRBits
+	e.retired.N = cfg.L2PredGHRBits
+	e.predPred[isa.P0] = true
 	switch cfg.Scheme {
 	case config.SchemeConventional:
-		r.twolevel = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
-		r.twolevel.SetIdeal(cfg.IdealNoAlias)
+		e.twolevel = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		e.twolevel.SetIdeal(cfg.IdealNoAlias)
 	case config.SchemePEPPA:
-		r.pep = peppa.New(peppa.DefaultConfig())
+		e.pep = peppa.New(peppa.DefaultConfig())
 	case config.SchemePredicate:
-		r.pp = core.New(core.Config{
+		e.pp = core.New(core.Config{
 			SizeBytes: cfg.L2PredBytes,
 			GHRBits:   cfg.L2PredGHRBits,
 			LHRBits:   cfg.L2PredLHRBits,
@@ -147,12 +242,12 @@ func newReplayer(cfg config.Config) (*replayer, error) {
 			Ideal:     cfg.IdealNoAlias,
 			SplitPVT:  cfg.SplitPVT,
 		})
-		r.shadow = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
-		r.shadowGHR.N = cfg.L2PredGHRBits
+		e.shadow = predictor.NewTwoLevel(cfg.L2PredBytes, cfg.L2PredGHRBits, cfg.L2PredLHRBits, cfg.L2PredLHTBits)
+		e.shadowGHR.N = cfg.L2PredGHRBits
 	default:
 		return nil, fmt.Errorf("stats: unknown scheme %v", cfg.Scheme)
 	}
-	return r, nil
+	return e, nil
 }
 
 // Replay runs a recorded trace through the configured predictor
@@ -162,312 +257,385 @@ func Replay(cfg config.Config, tr *trace.Trace, commits uint64) (pipeline.Stats,
 }
 
 // ReplayContext is Replay under a context: cancellation is checked
-// every replayChunk events, so even a full-suite replay stops within
+// every decoded batch, so even a full-suite replay stops within
 // milliseconds of a cancel.
 func ReplayContext(ctx context.Context, cfg config.Config, tr *trace.Trace, commits uint64) (pipeline.Stats, error) {
-	r, err := newReplayer(cfg)
-	if err != nil {
+	sts, err := ReplayAll(ctx, []config.Config{cfg}, tr, commits)
+	if len(sts) != 1 {
 		return pipeline.Stats{}, err
 	}
-	return r.run(ctx, tr, commits)
+	return sts[0], err
 }
 
-// run replays one trace through the engine's configured organization.
-func (r *replayer) run(ctx context.Context, tr *trace.Trace, commits uint64) (pipeline.Stats, error) {
-	if err := ctx.Err(); err != nil {
-		return r.st, err
+// ReplayAll replays one recorded trace through N predictor
+// organizations in a single pass: the event stream is decoded once, the
+// scheme-independent frontend is computed once, and every configuration
+// replays each decoded batch in lockstep. The returned slice is
+// parallel to cfgs, and each entry is bit-identical to an independent
+// Replay of that configuration. On cancellation the partial statistics
+// accumulated so far are returned alongside the context error.
+func ReplayAll(ctx context.Context, cfgs []config.Config, tr *trace.Trace, commits uint64) ([]pipeline.Stats, error) {
+	var s scratch
+	return s.replayAll(ctx, cfgs, tr, commits)
+}
+
+// scratch holds the reusable decode buffers of a single-pass replay —
+// the unit of reuse behind Session, where one trace is replayed for
+// many configurations without re-allocating the batch.
+type scratch struct {
+	evs   []trace.Event
+	notes []note
+}
+
+func (s *scratch) replayAll(ctx context.Context, cfgs []config.Config, tr *trace.Trace, commits uint64) ([]pipeline.Stats, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("stats: replay needs at least one configuration")
 	}
+	engines := make([]*schemeEngine, len(cfgs))
+	for i, cfg := range cfgs {
+		e, err := newSchemeEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	if s.evs == nil {
+		s.evs = make([]trace.Event, batchEvents)
+		s.notes = make([]note, batchEvents)
+	}
+	err := s.run(ctx, engines, tr, commits)
+	sts := make([]pipeline.Stats, len(engines))
+	for i, e := range engines {
+		sts[i] = e.st
+	}
+	return sts, err
+}
+
+// run drives the shared cursor: decode a batch, annotate it through the
+// frontend (budget- and marker-aware, exactly as the per-scheme engine
+// looped), then fan the admitted events to every engine.
+func (s *scratch) run(ctx context.Context, engines []*schemeEngine, tr *trace.Trace, commits uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var fe frontend
+	fe.predVal[isa.P0] = true
+	fe.prevVal[isa.P0] = true
 	cur := tr.EventCursor()
-	var ev trace.Event
 	var committed uint64
-	events := 0
 	halted := false
-	for cur.Next(&ev) {
-		committed += ev.Gap
-		if commits > 0 && committed >= commits {
-			committed = commits
+	done := false
+	for !done {
+		nDec := cur.NextBatch(s.evs)
+		if nDec == 0 {
 			break
 		}
-		// Markers are out-of-band: they carry gap but are not
-		// instructions themselves.
-		if ev.Kind != trace.EvMarker {
-			committed++
-			r.step = committed
-			r.apply(&ev)
-			if ev.Kind == trace.EvHalt {
-				halted = true
+		// Admit events up to the commit budget, compacting markers (and
+		// the halt record, which no engine acts on) out of the batch.
+		n := 0
+		for i := 0; i < nDec; i++ {
+			ev := &s.evs[i]
+			committed += ev.Gap
+			if commits > 0 && committed >= commits {
+				committed = commits
+				done = true
+				break
+			}
+			if ev.Kind != trace.EvMarker {
+				committed++
+				fe.step = committed
+				if ev.Kind == trace.EvHalt {
+					halted = true
+					done = true
+					break
+				}
+				if n != i {
+					s.evs[n] = *ev
+				}
+				fe.annotate(&s.evs[n], &s.notes[n])
+				n++
+			}
+			if commits > 0 && committed >= commits {
+				done = true
 				break
 			}
 		}
-		if commits > 0 && committed >= commits {
-			break
+		for _, e := range engines {
+			e.applyBatch(s.evs[:n], s.notes[:n])
 		}
-		if events++; events%replayChunk == 0 {
-			if err := ctx.Err(); err != nil {
-				r.st.Committed = committed
-				return r.st, err
+		// A replay that just reached its budget or halt is complete: a
+		// cancel racing completion must not turn its full statistics
+		// into a context error, so the check is skipped once done.
+		if err := ctx.Err(); err != nil && !done {
+			for _, e := range engines {
+				e.st.Committed = committed
 			}
+			return err
 		}
 	}
 	if err := cur.Err(); err != nil {
-		return r.st, err
+		return err
 	}
-	r.st.Committed = committed
-	r.st.HaltSeen = halted
-	return r.st, nil
+	for _, e := range engines {
+		e.st.Committed = committed
+		e.st.HaltSeen = halted
+	}
+	return nil
 }
 
-// apply replays one event against the predictor state.
-func (r *replayer) apply(ev *trace.Event) {
+// applyBatch replays one annotated batch through the engine's
+// configured organization. The per-scheme loops are split so each
+// engine's hot path stays monomorphic over a whole batch.
+func (e *schemeEngine) applyBatch(evs []trace.Event, notes []note) {
+	switch e.cfg.Scheme {
+	case config.SchemeConventional:
+		e.batchConventional(evs)
+	case config.SchemePEPPA:
+		e.batchPEPPA(evs, notes)
+	case config.SchemePredicate:
+		e.batchPredicate(evs, notes)
+	}
+}
+
+func (e *schemeEngine) batchConventional(evs []trace.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case trace.EvCompare:
+			e.st.Compares++
+		case trace.EvCondBr:
+			// Speculative and retired histories coincide in commit order
+			// (each committed branch contributes its committed outcome),
+			// so the perfect-GHR idealization is the identity here.
+			e.st.CondBranches++
+			lk := e.twolevel.Predict(pipeline.InstAddr(ev.PC), e.pGHR.Snapshot())
+			if lk.Taken != ev.Taken {
+				e.st.BranchMispred++
+			}
+			e.twolevel.Train(lk, ev.Taken)
+			e.pGHR.Push(ev.Taken)
+			e.retired.Push(ev.Taken)
+		default:
+			e.target(ev)
+		}
+	}
+}
+
+func (e *schemeEngine) batchPEPPA(evs []trace.Event, notes []note) {
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case trace.EvCompare:
+			e.st.Compares++
+		case trace.EvCondBr:
+			// PEP-PA selects a local history by the branch guard's
+			// previous definition; whether the in-flight producer has
+			// written back by fetch time follows the shared resolution
+			// model, precomputed as the note's selector.
+			e.st.CondBranches++
+			lk := e.pep.Predict(pipeline.InstAddr(ev.PC), notes[i].sel)
+			if lk.Taken != ev.Taken {
+				e.st.BranchMispred++
+			}
+			e.pep.Update(lk, ev.Taken)
+		default:
+			e.target(ev)
+		}
+	}
+}
+
+func (e *schemeEngine) batchPredicate(evs []trace.Event, notes []note) {
+	selective := e.cfg.Predication == config.PredicationSelective
+	perfect := e.cfg.IdealPerfectGHR
+	repair := !e.cfg.DisableGHRRepair
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case trace.EvCompare:
+			nt := &notes[i]
+			e.st.Compares++
+			// Selective predication cancels a guarded compare when its
+			// guard is usable at rename — resolved, or confidently
+			// predicted — and false. A wrong confident cancellation is
+			// flushed and refetched with the resolved guard, so the
+			// committed outcome is always governed by the actual guard
+			// value. A non-usable false guard falls back to a select
+			// micro-op, which executes and trains on its
+			// read-modify-write result (unc compares always execute:
+			// they clear their destinations even when nullified — the
+			// pipeline's uncFalse path).
+			usable := e.resolvedAt(ev.QP, nt.step) || e.predConf[ev.QP]
+			canceled := selective && ev.Guarded && !ev.QPTrue && !ev.Unc && usable
+
+			// Apply the trainings that have left the in-flight window,
+			// as commit would have by this compare's fetch, then predict
+			// with the (possibly stale) weights and speculative history.
+			for e.trainLen >= trainWindow {
+				e.popTraining()
+			}
+			ghr := e.specGHR()
+			if perfect {
+				ghr = e.retired.Snapshot()
+			}
+			lk := e.pp.Predict(pipeline.InstAddr(ev.PC), ghr)
+
+			if canceled {
+				// A rename-canceled compare never executes: its
+				// speculative GHR push is never repaired (and its
+				// speculative local-history push persists the same way —
+				// pp.Predict above mirrors it), it never trains, and it
+				// does not rename.
+				e.pushSpecBit(specBit{pred: lk.Val1, act: lk.Val1})
+			} else {
+				e.st.PredPredictions += 2
+				if lk.Val1 != nt.res1 {
+					e.st.PredMispredicts++
+				}
+				if lk.Val2 != nt.res2 {
+					e.st.PredMispredicts++
+				}
+				e.pushTraining(pendingTrain{lk: lk, res1: nt.res1, res2: nt.res2})
+				e.retired.Push(nt.res1)
+				e.pushSpecBit(specBit{pred: lk.Val1, act: nt.res1, repair: repair})
+				// Rename mirror: consumers read these predicted values
+				// (and their at-prediction confidence) until the compare
+				// resolves.
+				if ev.P1 != uint8(isa.P0) {
+					e.predPred[ev.P1] = lk.Val1
+					e.predConf[ev.P1] = lk.Conf1
+				}
+				if ev.P2 != uint8(isa.P0) {
+					e.predPred[ev.P2] = lk.Val2
+					e.predConf[ev.P2] = lk.Conf2
+				}
+				if ev.P1 != uint8(isa.P0) {
+					e.prodStep[ev.P1] = nt.step
+				}
+				if ev.P2 != uint8(isa.P0) {
+					e.prodStep[ev.P2] = nt.step
+				}
+			}
+		case trace.EvCondBr:
+			e.st.CondBranches++
+			early := e.resolvedAt(ev.QP, notes[i].step)
+			if early {
+				// The branch read its guard's computed value from the
+				// PPRF: correct by construction (§3.1).
+				e.st.EarlyResolved++
+			} else if e.predPred[ev.QP] != ev.Taken {
+				// Speculative consumer of a wrong predicate prediction;
+				// the pipeline scores this at consumer-flush recovery.
+				// The recovery refetches everything younger and stalls
+				// fetch, so the in-flight windows collapse.
+				e.st.BranchMispred++
+				e.drainWindows()
+			}
+			// Shadow conventional predictor for the Figure 6b breakdown —
+			// predicted and trained at commit in the pipeline too, so
+			// this replication is exact.
+			slk := e.shadow.Predict(pipeline.InstAddr(ev.PC), e.shadowGHR.Snapshot())
+			e.st.ShadowCondBranches++
+			if slk.Taken != ev.Taken {
+				e.st.ShadowMispred++
+				if early {
+					e.st.EarlyResolvedHit++
+				}
+			}
+			e.shadow.Train(slk, ev.Taken)
+			e.shadowGHR.Push(ev.Taken)
+		default:
+			e.target(ev)
+		}
+	}
+}
+
+// target replays one target-predicted event (call/return/indirect)
+// against the engine's RAS and last-target table.
+func (e *schemeEngine) target(ev *trace.Event) {
 	switch ev.Kind {
-	case trace.EvCompare:
-		r.compare(ev)
-	case trace.EvCondBr:
-		r.condBranch(ev)
 	case trace.EvCall:
-		r.ras.Push(ev.PC + 1)
+		e.ras.Push(ev.PC + 1)
 	case trace.EvRet:
-		if r.ras.Pop() != ev.Target {
-			r.st.TargetMispred++
+		if e.ras.Pop() != ev.Target {
+			e.st.TargetMispred++
 		}
 	case trace.EvBrInd:
 		addr := pipeline.InstAddr(ev.PC)
-		predNext := r.itab.Predict(addr)
+		predNext := e.itab.Predict(addr)
 		actualNext := ev.PC + 1
 		if ev.Taken {
 			actualNext = ev.Target
 		}
 		if predNext != actualNext {
-			r.st.TargetMispred++
+			e.st.TargetMispred++
 		}
-		r.itab.Update(addr, ev.Target)
+		e.itab.Update(addr, ev.Target)
 	}
 }
 
-// compare replays one predicate-producing compare: the predicate
-// predictor's lookup/training (predicate scheme), the GHR pushes with
-// the §3.3 repair semantics, and the architectural predicate update
-// every scheme's consumers observe.
-func (r *replayer) compare(ev *trace.Event) {
-	r.st.Compares++
-	canceled := false
-	if r.cfg.Scheme == config.SchemePredicate {
-		// Selective predication cancels a guarded compare when its
-		// guard is usable at rename — resolved, or confidently
-		// predicted — and false. A wrong confident cancellation is
-		// flushed and refetched with the resolved guard, so the
-		// committed outcome is always governed by the actual guard
-		// value. A non-usable false guard falls back to a select
-		// micro-op, which executes and trains on its read-modify-write
-		// result (unc compares always execute: they clear their
-		// destinations even when nullified — the pipeline's uncFalse
-		// path).
-		usable := r.guardResolved(ev.QP) || r.predConf[ev.QP]
-		canceled = r.cfg.Predication == config.PredicationSelective &&
-			ev.Guarded && !ev.QPTrue && !ev.Unc && usable
-
-		// Apply the trainings that have left the in-flight window, as
-		// commit would have by this compare's fetch, then predict with
-		// the (possibly stale) weights and speculative history.
-		for r.trainQLen() >= trainWindow {
-			r.popTraining()
-		}
-		ghr := r.specGHR()
-		if r.cfg.IdealPerfectGHR {
-			ghr = r.retired.Snapshot()
-		}
-		lk := r.pp.Predict(pipeline.InstAddr(ev.PC), ghr)
-
-		res1, res2 := r.resolve(ev)
-		if canceled {
-			// A rename-canceled compare never executes: its speculative
-			// GHR push is never repaired (and its speculative
-			// local-history push persists the same way — pp.Predict
-			// above mirrors it), and it never trains.
-			r.pushSpecBit(specBit{pred: lk.Val1, act: lk.Val1})
-		} else {
-			r.st.PredPredictions += 2
-			if lk.Val1 != res1 {
-				r.st.PredMispredicts++
-			}
-			if lk.Val2 != res2 {
-				r.st.PredMispredicts++
-			}
-			r.pushTraining(pendingTrain{lk: lk, res1: res1, res2: res2})
-			r.retired.Push(res1)
-			r.pushSpecBit(specBit{pred: lk.Val1, act: res1, repair: !r.cfg.DisableGHRRepair})
-			// Rename mirror: consumers read these predicted values
-			// (and their at-prediction confidence) until the compare
-			// resolves.
-			if ev.P1 != uint8(isa.P0) {
-				r.predPred[ev.P1] = lk.Val1
-				r.predConf[ev.P1] = lk.Conf1
-			}
-			if ev.P2 != uint8(isa.P0) {
-				r.predPred[ev.P2] = lk.Val2
-				r.predConf[ev.P2] = lk.Conf2
-			}
-		}
-	}
-	// Renaming position, for the resolution model (every scheme: without
-	// selective predication nothing cancels and every compare renames).
-	if !canceled {
-		if ev.P1 != uint8(isa.P0) {
-			r.prodStep[ev.P1] = r.step
-		}
-		if ev.P2 != uint8(isa.P0) {
-			r.prodStep[ev.P2] = r.step
-		}
-	}
-	// Architectural predicate update (after resolving RMW old values).
-	if ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
-		r.prevVal[ev.P1] = r.predVal[ev.P1]
-		r.predVal[ev.P1] = ev.Out.Val1
-	}
-	if ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
-		r.prevVal[ev.P2] = r.predVal[ev.P2]
-		r.predVal[ev.P2] = ev.Out.Val2
-	}
+// resolvedAt is the frontend's resolution model over the engine's own
+// cancellation-aware renaming positions (predicate scheme).
+func (e *schemeEngine) resolvedAt(p uint8, step uint64) bool {
+	last := e.prodStep[p]
+	return last == 0 || step-last >= earlyResolveDist
 }
 
-// resolve computes the compare's two training values exactly as the
-// pipeline's execute stage does: a written destination takes the
-// outcome value, an unwritten valid destination keeps its old
-// (read-modify-write) value, and a p0 destination trains on the raw
-// outcome value.
-func (r *replayer) resolve(ev *trace.Event) (bool, bool) {
-	res1, res2 := ev.Out.Val1, ev.Out.Val2
-	if !ev.Out.Write1 && ev.P1 != uint8(isa.P0) {
-		res1 = r.predVal[ev.P1]
+func (e *schemeEngine) pushTraining(p pendingTrain) {
+	i := e.trainHead + e.trainLen
+	if i >= trainWindow {
+		i -= trainWindow
 	}
-	if !ev.Out.Write2 && ev.P2 != uint8(isa.P0) {
-		res2 = r.predVal[ev.P2]
-	}
-	return res1, res2
-}
-
-// condBranch replays one committed conditional branch through the
-// active scheme.
-func (r *replayer) condBranch(ev *trace.Event) {
-	r.st.CondBranches++
-	addr := pipeline.InstAddr(ev.PC)
-	switch r.cfg.Scheme {
-	case config.SchemeConventional:
-		// Speculative and retired histories coincide in commit order
-		// (each committed branch contributes its committed outcome), so
-		// the perfect-GHR idealization is the identity here.
-		lk := r.twolevel.Predict(addr, r.pGHR.Snapshot())
-		if lk.Taken != ev.Taken {
-			r.st.BranchMispred++
-		}
-		r.twolevel.Train(lk, ev.Taken)
-		r.pGHR.Push(ev.Taken)
-		r.retired.Push(ev.Taken)
-	case config.SchemePEPPA:
-		// PEP-PA selects a local history by the branch guard's previous
-		// definition; whether the in-flight producer has written back
-		// by fetch time follows the same resolution model as
-		// early-resolution classification.
-		sel := r.prevVal[ev.QP]
-		if r.guardResolved(ev.QP) {
-			sel = r.predVal[ev.QP]
-		}
-		lk := r.pep.Predict(addr, sel)
-		if lk.Taken != ev.Taken {
-			r.st.BranchMispred++
-		}
-		r.pep.Update(lk, ev.Taken)
-	case config.SchemePredicate:
-		early := r.guardResolved(ev.QP)
-		if early {
-			// The branch read its guard's computed value from the PPRF:
-			// correct by construction (§3.1).
-			r.st.EarlyResolved++
-		} else if r.predPred[ev.QP] != ev.Taken {
-			// Speculative consumer of a wrong predicate prediction; the
-			// pipeline scores this at consumer-flush recovery. The
-			// recovery refetches everything younger and stalls fetch, so
-			// the in-flight windows collapse.
-			r.st.BranchMispred++
-			r.drainWindows()
-		}
-		// Shadow conventional predictor for the Figure 6b breakdown —
-		// predicted and trained at commit in the pipeline too, so this
-		// replication is exact.
-		slk := r.shadow.Predict(addr, r.shadowGHR.Snapshot())
-		r.st.ShadowCondBranches++
-		if slk.Taken != ev.Taken {
-			r.st.ShadowMispred++
-			if early {
-				r.st.EarlyResolvedHit++
-			}
-		}
-		r.shadow.Train(slk, ev.Taken)
-		r.shadowGHR.Push(ev.Taken)
-	}
-}
-
-func (r *replayer) trainQLen() int { return len(r.trainQ) - r.trainQHead }
-
-func (r *replayer) pushTraining(p pendingTrain) {
-	if r.trainQHead > 0 && len(r.trainQ) == cap(r.trainQ) {
-		n := copy(r.trainQ, r.trainQ[r.trainQHead:])
-		r.trainQ = r.trainQ[:n]
-		r.trainQHead = 0
-	}
-	r.trainQ = append(r.trainQ, p)
+	e.trainQ[i] = p
+	e.trainLen++
 }
 
 // popTraining applies the oldest deferred training.
-func (r *replayer) popTraining() {
-	p := r.trainQ[r.trainQHead]
-	r.trainQHead++
-	if r.trainQHead == len(r.trainQ) {
-		r.trainQ = r.trainQ[:0]
-		r.trainQHead = 0
+func (e *schemeEngine) popTraining() {
+	p := &e.trainQ[e.trainHead]
+	if e.trainHead++; e.trainHead == trainWindow {
+		e.trainHead = 0
 	}
-	r.pp.Train(p.lk, p.res1, p.res2)
+	e.trainLen--
+	e.pp.Train(p.lk, p.res1, p.res2)
 }
 
 // pushSpecBit appends a speculative history bit, evicting (and
 // repairing) the oldest once the writeback window is full.
-func (r *replayer) pushSpecBit(b specBit) {
-	if len(r.ghrRing)-r.ringHead >= repairWindow {
-		r.evictSpecBit()
+func (e *schemeEngine) pushSpecBit(b specBit) {
+	if e.ringLen >= repairWindow {
+		e.evictSpecBit()
 	}
-	if r.ringHead > 0 && len(r.ghrRing) == cap(r.ghrRing) {
-		n := copy(r.ghrRing, r.ghrRing[r.ringHead:])
-		r.ghrRing = r.ghrRing[:n]
-		r.ringHead = 0
+	i := e.ringHead + e.ringLen
+	if i >= repairWindow {
+		i -= repairWindow
 	}
-	r.ghrRing = append(r.ghrRing, b)
+	e.ring[i] = b
+	e.ringLen++
+	e.ringBits <<= 1
+	if b.pred {
+		e.ringBits |= 1
+	}
 }
 
-func (r *replayer) evictSpecBit() {
-	b := r.ghrRing[r.ringHead]
-	r.ringHead++
-	if r.ringHead == len(r.ghrRing) {
-		r.ghrRing = r.ghrRing[:0]
-		r.ringHead = 0
+func (e *schemeEngine) evictSpecBit() {
+	b := &e.ring[e.ringHead]
+	if e.ringHead++; e.ringHead == repairWindow {
+		e.ringHead = 0
 	}
+	e.ringLen--
+	e.ringBits &= uint64(1)<<uint(e.ringLen) - 1
 	v := b.pred
 	if b.repair {
 		v = b.act
 	}
-	r.pGHR.Push(v)
+	e.pGHR.Push(v)
 }
 
 // specGHR composes the history a fetched compare sees: repaired bits
 // beyond the writeback window, predicted bits inside it.
-func (r *replayer) specGHR() uint64 {
-	v := r.pGHR.Snapshot()
-	for _, b := range r.ghrRing[r.ringHead:] {
-		v <<= 1
-		if b.pred {
-			v |= 1
-		}
-	}
-	if n := r.pGHR.N; n < 64 {
+func (e *schemeEngine) specGHR() uint64 {
+	v := e.pGHR.Snapshot()<<uint(e.ringLen) | e.ringBits
+	if n := e.pGHR.N; n < 64 {
 		v &= uint64(1)<<n - 1
 	}
 	return v
@@ -475,20 +643,11 @@ func (r *replayer) specGHR() uint64 {
 
 // drainWindows models a recovery flush: every pending training is
 // applied and every speculative history bit repaired.
-func (r *replayer) drainWindows() {
-	for r.trainQLen() > 0 {
-		r.popTraining()
+func (e *schemeEngine) drainWindows() {
+	for e.trainLen > 0 {
+		e.popTraining()
 	}
-	for len(r.ghrRing)-r.ringHead > 0 {
-		r.evictSpecBit()
+	for e.ringLen > 0 {
+		e.evictSpecBit()
 	}
-}
-
-// guardResolved reports whether predicate p's producing compare is
-// modeled as resolved (written back) before the current instruction
-// renames: no in-flight producer, or a producer at least
-// earlyResolveDist committed instructions upstream.
-func (r *replayer) guardResolved(p uint8) bool {
-	last := r.prodStep[p]
-	return last == 0 || r.step-last >= earlyResolveDist
 }

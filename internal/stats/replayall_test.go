@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// replaySchemes is the paper's three-way comparison (Figure 6a), the
+// canonical multi-scheme replay.
+var replaySchemes = []config.Scheme{config.SchemeConventional, config.SchemePredicate, config.SchemePEPPA}
+
+func schemeCfgs() []config.Config {
+	cfgs := make([]config.Config, len(replaySchemes))
+	for i, sch := range replaySchemes {
+		cfgs[i] = config.Default().WithScheme(sch)
+	}
+	return cfgs
+}
+
+// TestReplayAllMatchesIndependentReplays is the single-pass engine's
+// equality oracle: for every suite benchmark, ReplayAll over all three
+// schemes must produce per-scheme statistics bit-identical to N
+// independent Replay calls of the same trace — the shared frontend and
+// batched cursor are implementation, not semantics.
+func TestReplayAllMatchesIndependentReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a trace per suite benchmark; skipped with -short")
+	}
+	const commits = 40000
+	cfgs := schemeCfgs()
+	for _, spec := range bench.Suite() {
+		tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: commits + 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := ReplayAll(context.Background(), cfgs, tr, commits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != len(cfgs) {
+			t.Fatalf("%s: ReplayAll returned %d stats for %d configs", spec.Name, len(all), len(cfgs))
+		}
+		for i, cfg := range cfgs {
+			ind, err := Replay(cfg, tr, commits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[i], ind) {
+				t.Errorf("%s/%s: single-pass stats diverge from independent replay:\n all: %+v\n ind: %+v",
+					spec.Name, replaySchemes[i], all[i], ind)
+			}
+		}
+	}
+}
+
+// TestReplayAllMatchesSessionAndVariants extends the equality oracle to
+// the Session surface and to heterogeneous configuration sets (the
+// ablation and idealization knobs differing per entry), on one
+// benchmark so it stays cheap enough to run without -short.
+func TestReplayAllMatchesSessionAndVariants(t *testing.T) {
+	spec, err := bench.Find("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := config.Default().WithScheme(config.SchemePredicate)
+	ideal := base
+	ideal.IdealNoAlias, ideal.IdealPerfectGHR = true, true
+	norepair := base
+	norepair.DisableGHRRepair = true
+	sel := base
+	sel.Predication = config.PredicationSelect
+	cfgs := []config.Config{
+		config.Default().WithScheme(config.SchemeConventional),
+		base, ideal, norepair, sel,
+		config.Default().WithScheme(config.SchemePEPPA),
+	}
+	sess := NewSession(tr)
+	// Two passes through one session: buffer reuse must not leak state
+	// between runs.
+	for pass := 0; pass < 2; pass++ {
+		all, err := sess.ReplayAll(context.Background(), cfgs, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			ind, err := Replay(cfg, tr, 40000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[i], ind) {
+				t.Errorf("pass %d, cfg %d: single-pass stats diverge:\n all: %+v\n ind: %+v", pass, i, all[i], ind)
+			}
+		}
+	}
+}
+
+// TestReplayAllRejectsBadInput pins the error paths: an empty config
+// set and an invalid configuration fail up front.
+func TestReplayAllRejectsBadInput(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayAll(context.Background(), nil, tr, 0); err == nil {
+		t.Error("empty config set should fail")
+	}
+	bad := config.Default().WithScheme(config.SchemePredicate)
+	bad.FetchWidth = 0
+	if _, err := ReplayAll(context.Background(), []config.Config{bad}, tr, 0); err == nil {
+		t.Error("invalid configuration should fail")
+	}
+}
+
+// TestReplayAllCancellation mirrors TestReplayCancellation for the
+// multi-scheme path.
+func TestReplayAllCancellation(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReplayAll(ctx, schemeCfgs(), tr, 0); err == nil {
+		t.Fatal("want context error from cancelled single-pass replay")
+	}
+}
+
+func recordBenchTrace(b *testing.B, name string, commits uint64) *trace.Trace {
+	b.Helper()
+	spec, err := bench.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: commits + 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkReplayPerScheme measures the independent per-scheme replay
+// path (one full decode + frontend pass per scheme).
+func BenchmarkReplayPerScheme(b *testing.B) {
+	const commits = 50000
+	tr := recordBenchTrace(b, "vpr", commits)
+	for i, sch := range replaySchemes {
+		cfg := config.Default().WithScheme(sch)
+		b.Run(sch.String(), func(b *testing.B) {
+			sess := NewSession(tr)
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if _, err := sess.Replay(context.Background(), cfg, commits); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(commits*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+		_ = i
+	}
+}
+
+// BenchmarkReplayAllSinglePass measures the single-pass three-scheme
+// replay: one decode + frontend pass fanned to all engines. The
+// instrs/s metric is aggregate (scheme-replays × committed instructions
+// per wall second), comparable to summing the per-scheme times above.
+func BenchmarkReplayAllSinglePass(b *testing.B) {
+	const commits = 50000
+	tr := recordBenchTrace(b, "vpr", commits)
+	cfgs := schemeCfgs()
+	sess := NewSession(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sess.ReplayAll(context.Background(), cfgs, commits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*commits*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -9,18 +9,18 @@ import (
 )
 
 // Session replays one recorded trace under many configurations — the
-// unit of reuse behind configuration sweeps, where a benchmark's trace
-// is recorded (or loaded) once and then replayed for every sweep point
-// × scheme. Predictor tables are rebuilt per run (their geometry is
-// part of the configuration under test), but the engine's in-flight
-// queues keep their grown backing arrays across runs, so steady-state
-// sweep replay does not re-allocate per point.
+// unit of reuse behind the runner and the configuration sweeps, where a
+// benchmark's trace is recorded (or loaded) once and then replayed for
+// every sweep point × scheme. Predictor tables are rebuilt per run
+// (their geometry is part of the configuration under test), but the
+// session keeps the shared cursor's decode buffers across runs, so
+// steady-state replay does not re-allocate the batch; the engines' own
+// in-flight queues are fixed-size rings and never allocate.
 //
 // A Session is not safe for concurrent use; give each worker its own.
 type Session struct {
-	tr      *trace.Trace
-	trainQ  []pendingTrain
-	ghrRing []specBit
+	tr *trace.Trace
+	s  scratch
 }
 
 // NewSession wraps a recorded trace for repeated replay.
@@ -35,13 +35,19 @@ func (s *Session) Trace() *trace.Trace { return s.tr }
 // commit budget (0 = the whole trace), honoring ctx like
 // ReplayContext.
 func (s *Session) Replay(ctx context.Context, cfg config.Config, commits uint64) (pipeline.Stats, error) {
-	r, err := newReplayer(cfg)
-	if err != nil {
+	sts, err := s.ReplayAll(ctx, []config.Config{cfg}, commits)
+	if len(sts) != 1 {
 		return pipeline.Stats{}, err
 	}
-	r.trainQ, r.ghrRing = s.trainQ[:0], s.ghrRing[:0]
-	st, err := r.run(ctx, s.tr, commits)
-	// Keep whatever capacity the run grew for the next replay.
-	s.trainQ, s.ghrRing = r.trainQ[:0], r.ghrRing[:0]
-	return st, err
+	return sts[0], err
+}
+
+// ReplayAll runs the trace through N predictor organizations in a
+// single pass — the event stream is decoded and the scheme-independent
+// frontend computed once, however many configurations consume it. The
+// returned slice is parallel to cfgs and each entry is bit-identical to
+// an independent Replay of that configuration (see the package-level
+// ReplayAll).
+func (s *Session) ReplayAll(ctx context.Context, cfgs []config.Config, commits uint64) ([]pipeline.Stats, error) {
+	return s.s.replayAll(ctx, cfgs, s.tr, commits)
 }

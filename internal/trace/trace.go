@@ -331,6 +331,22 @@ func (c *Cursor) Next(ev *Event) bool {
 	return c.err == nil
 }
 
+// NextBatch decodes up to len(buf) events into buf and returns how many
+// were decoded — the batched front half of a single-pass multi-consumer
+// replay, where the varint stream is decoded once into a reused event
+// buffer and each consumer then walks the decoded slice. Zero-alloc:
+// the caller owns buf and reuses it across calls. Returns 0 at end of
+// stream or on a malformed stream (check Err to distinguish); a short
+// batch (0 < n < len(buf)) means the stream ended or turned malformed
+// mid-batch, and the n decoded events are still valid.
+func (c *Cursor) NextBatch(buf []Event) int {
+	n := 0
+	for n < len(buf) && c.Next(&buf[n]) {
+		n++
+	}
+	return n
+}
+
 func putUvarint(b *bytes.Buffer, v uint64) {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], v)

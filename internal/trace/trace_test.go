@@ -150,6 +150,56 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestNextBatchMatchesSequentialNext pins the batched decode path of
+// the single-pass replay engine: whatever the buffer size, NextBatch
+// must yield exactly the event sequence of one-at-a-time Next calls,
+// and report the same terminal state.
+func TestNextBatchMatchesSequentialNext(t *testing.T) {
+	tr := recordBench(t, "gzip", 20000)
+	var want []Event
+	seq := tr.EventCursor()
+	var ev Event
+	for seq.Next(&ev) {
+		want = append(want, ev)
+	}
+	if err := seq.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 7, 256, len(want), len(want) + 100} {
+		cur := tr.EventCursor()
+		buf := make([]Event, size)
+		var got []Event
+		for {
+			n := cur.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("size %d: decoded %d events, want %d", size, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: event %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A malformed stream surfaces through Err after a short batch.
+	bad := &Trace{Events: append(append([]byte(nil), tr.Events...), 0x05, 0xFF)}
+	cur := bad.EventCursor()
+	buf := make([]Event, 64)
+	for cur.NextBatch(buf) > 0 {
+	}
+	if cur.Err() == nil {
+		t.Fatal("want decode error from truncated tail")
+	}
+}
+
 func TestRecordCancellation(t *testing.T) {
 	spec, err := bench.Find("mcf")
 	if err != nil {

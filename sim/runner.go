@@ -101,14 +101,53 @@ func (r *Runner) Wait() error {
 	return r.err
 }
 
+// simJob is one unit of worker-pool work: a benchmark × mode cell
+// group. Pipeline-mode cells are one scheme per job; trace-mode jobs
+// coalesce every scheme of the benchmark into a single job, replayed in
+// one pass over the shared trace cursor (stats.Session.ReplayAll). The
+// job's cells occupy consecutive matrix positions starting at seq, in
+// scheme order.
 type simJob struct {
-	seq    int
-	bench  string
-	class  string
-	scheme string
-	mode   Mode
-	prog   *Program
-	pg     stats.Programs // prepared benchmark (trace recording needs spec + regions)
+	seq     int
+	bench   string
+	class   string
+	schemes []string // one per cell; >1 only for coalesced trace-mode jobs
+	mode    Mode
+	prog    *Program
+	pg      stats.Programs // prepared benchmark (trace recording needs spec + regions)
+}
+
+// buildJobs expands the experiment matrix into worker jobs in matrix
+// order (benchmark-major, then mode, then scheme) and returns them with
+// the total cell count — larger than len(jobs) whenever trace-mode
+// scheme cells were coalesced.
+func (e *Experiment) buildJobs(wl *Workload) ([]simJob, int) {
+	var jobs []simJob
+	seq := 0
+	for _, pg := range wl.progs {
+		p := pg.Plain
+		if e.ifConverted {
+			p = pg.Converted
+		}
+		for _, m := range e.mode.modes() {
+			if m == ModeTrace {
+				jobs = append(jobs, simJob{
+					seq: seq, bench: pg.Spec.Name, class: pg.Spec.Class,
+					schemes: e.schemes, mode: m, prog: p, pg: pg,
+				})
+				seq += len(e.schemes)
+				continue
+			}
+			for _, s := range e.schemes {
+				jobs = append(jobs, simJob{
+					seq: seq, bench: pg.Spec.Name, class: pg.Spec.Class,
+					schemes: []string{s}, mode: m, prog: p, pg: pg,
+				})
+				seq++
+			}
+		}
+	}
+	return jobs, seq
 }
 
 // Start validates nothing further (New did), prepares the workload if
@@ -128,25 +167,11 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 	if e.mode&ModeTrace != 0 {
 		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits)
 	}
-	var jobs []simJob
-	for _, pg := range wl.progs {
-		p := pg.Plain
-		if e.ifConverted {
-			p = pg.Converted
-		}
-		for _, m := range e.mode.modes() {
-			for _, s := range e.schemes {
-				jobs = append(jobs, simJob{
-					seq: len(jobs), bench: pg.Spec.Name, class: pg.Spec.Class,
-					scheme: s, mode: m, prog: p, pg: pg,
-				})
-			}
-		}
-	}
+	jobs, total := e.buildJobs(wl)
 	r := &Runner{
-		results: make(chan Result, len(jobs)),
+		results: make(chan Result, total),
 		done:    make(chan struct{}),
-		total:   len(jobs),
+		total:   total,
 	}
 	k := e.parallelism
 	if k <= 0 {
@@ -179,12 +204,14 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				res, ok := e.runJob(ctx, traces, sessions, j)
-				if !ok { // cancelled mid-run: partial stats, drop it
+				rs, ok := e.runJob(ctx, traces, sessions, j)
+				if !ok { // cancelled mid-run: partial stats, drop them
 					return
 				}
-				r.results <- res
-				r.report(e.progress, res)
+				for _, res := range rs {
+					r.results <- res
+					r.report(e.progress, res)
+				}
 			}
 		}()
 	}
@@ -219,58 +246,114 @@ func (r *Runner) report(f func(Progress), res Result) {
 	}
 }
 
-// result is the cell's Result prologue: identity fields filled in,
+// result is cell i's Result prologue: identity fields filled in,
 // statistics still empty.
-func (j simJob) result(e *Experiment) Result {
+func (j simJob) result(e *Experiment, i int) Result {
 	return Result{
-		Seq: j.seq, Tag: e.tag, Bench: j.bench, Class: j.class,
-		Scheme: j.scheme, Mode: j.mode, IfConverted: e.ifConverted,
+		Seq: j.seq + i, Tag: e.tag, Bench: j.bench, Class: j.class,
+		Scheme: j.schemes[i], Mode: j.mode, IfConverted: e.ifConverted,
 	}
 }
 
-// runJob simulates one matrix cell. ok is false when the context was
-// cancelled mid-simulation and the partial result must be discarded.
-func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob) (Result, bool) {
-	cfg, err := schemeConfig(j.scheme)
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// baseConfig builds one cell's configuration: the scheme's registry
+// base with the experiment mutator applied.
+func (e *Experiment) baseConfig(scheme string) (Config, error) {
+	cfg, err := schemeConfig(scheme)
 	if err != nil {
-		res := j.result(e)
-		res.Err = err
-		return res, true
+		return cfg, err
 	}
 	if e.mutate != nil {
 		e.mutate(&cfg)
 	}
-	return e.runCell(ctx, cfg, traces, sessions, j)
+	return cfg, nil
 }
 
-// runCell simulates one matrix cell under an explicit, fully-built
-// configuration — the seam the sweep engine shares with the plain
-// runner (a sweep point is the same cell with extra axis mutations
-// applied). ok is false when the context was cancelled mid-simulation.
-func (e *Experiment) runCell(ctx context.Context, cfg Config, traces *traceProvider, sessions map[string]*stats.Session, j simJob) (Result, bool) {
-	res := j.result(e)
+// runJob simulates one matrix job (a pipeline cell, or a coalesced
+// trace-mode cell group). ok is false when the context was cancelled
+// mid-simulation and the partial results must be discarded.
+func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob) ([]Result, bool) {
 	if j.mode == ModeTrace {
-		sess, err := traces.session(ctx, sessions, j.pg, e.ifConverted)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return res, false
+		return e.runTraceJob(ctx, traces, sessions, j, e.baseConfig)
+	}
+	cfg, err := e.baseConfig(j.schemes[0])
+	if err != nil {
+		res := j.result(e, 0)
+		res.Err = err
+		return []Result{res}, true
+	}
+	res, ok := e.runCell(ctx, cfg, j, 0)
+	return []Result{res}, ok
+}
+
+// runTraceJob replays every scheme cell of one benchmark in a single
+// pass over the shared trace cursor. buildCfg produces each cell's
+// fully-built configuration — the seam the sweep engine shares with the
+// plain runner (a sweep point is the same group with extra axis
+// mutations applied). A cell whose configuration fails to build or
+// validate keeps its error while its siblings still replay; ok is false
+// when the context was cancelled mid-replay and the whole group must be
+// discarded.
+func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, buildCfg func(string) (Config, error)) ([]Result, bool) {
+	out := make([]Result, len(j.schemes))
+	for i := range j.schemes {
+		out[i] = j.result(e, i)
+	}
+	sess, err := traces.session(ctx, sessions, j.pg, e.ifConverted)
+	if canceled(err) {
+		return nil, false
+	}
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out, true
+	}
+	var cfgs []Config
+	var live []int // out index per cfgs entry
+	for i, s := range j.schemes {
+		cfg, err := buildCfg(s)
+		if err == nil {
+			// Pre-flight so one invalid configuration keeps its per-cell
+			// error instead of sinking the whole single-pass group.
+			err = cfg.Validate()
 		}
 		if err != nil {
-			res.Err = err
-			return res, true
+			out[i].Err = err
+			continue
 		}
-		st, err := sess.Replay(ctx, cfg, e.commits)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return res, false
-		}
-		res.Stats = st
-		res.Err = err
-		return res, true
+		cfgs = append(cfgs, cfg)
+		live = append(live, i)
 	}
+	if len(cfgs) > 0 {
+		sts, err := sess.ReplayAll(ctx, cfgs, e.commits)
+		if canceled(err) {
+			return nil, false
+		}
+		for k, i := range live {
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			out[i].Stats = sts[k]
+		}
+	}
+	return out, true
+}
+
+// runCell simulates one pipeline-mode matrix cell under an explicit,
+// fully-built configuration. ok is false when the context was cancelled
+// mid-simulation.
+func (e *Experiment) runCell(ctx context.Context, cfg Config, j simJob, i int) (Result, bool) {
+	res := j.result(e, i)
 	pl, err := stats.SimulateContext(ctx, cfg, j.prog, e.commits)
 	// Drop the result only when the simulation itself was cut short: a
 	// context cancelled after the run completed (err == nil, or a real
 	// pipeline error) still produced a full, reportable result.
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if canceled(err) {
 		return res, false
 	}
 	if pl != nil {
@@ -377,6 +460,54 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	}
 	if err != nil {
 		return out, err
+	}
+	return out, nil
+}
+
+// SimulateProgramSchemes runs one program under several named schemes
+// in a single trace-mode pass: the program's trace is recorded (or
+// loaded from the disk cache) once and replayed through every scheme's
+// predictor organization in lockstep over one shared cursor, so adding
+// a scheme to the comparison costs its predictor work alone rather than
+// another full decode. r.Mode must be ModeTrace (the pipeline cannot be
+// fanned this way) and r.Scheme is ignored in favor of the schemes
+// argument. Results are returned in scheme order, each bit-identical to
+// a separate SimulateProgram call with that scheme.
+func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string) ([]ProgramResult, error) {
+	if r.Program == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("sim: no schemes given")
+	}
+	if r.Mode != ModeTrace {
+		return nil, fmt.Errorf("sim: single-pass multi-scheme replay is trace-mode only, got %v", r.Mode)
+	}
+	cfgs := make([]Config, len(schemes))
+	for i, s := range schemes {
+		cfg, err := schemeConfig(s)
+		if err != nil {
+			return nil, err
+		}
+		if r.Mutate != nil {
+			r.Mutate(&cfg)
+		}
+		cfgs[i] = cfg
+	}
+	tr, err := recordProgramTrace(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	sts, err := stats.ReplayAll(ctx, cfgs, tr, r.Commits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProgramResult, len(schemes))
+	for i := range out {
+		out[i].Bench = r.Program.Name
+		out[i].Scheme = schemes[i]
+		out[i].Mode = ModeTrace
+		out[i].Stats = sts[i]
 	}
 	return out, nil
 }

@@ -1,9 +1,77 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
+
+// TestRunnerCancellationAccounting pins the runner's bookkeeping when a
+// run is cut short: cancelling mid-run leaves finished < total, Wait
+// reports the context error, every streamed result was a completed cell
+// (partial cells are dropped), and Progress.Done stays monotone. Both
+// modes are exercised — trace mode additionally covers dropping a
+// coalesced multi-scheme job whole.
+func TestRunnerCancellationAccounting(t *testing.T) {
+	wl, err := PrepareWorkload([]string{"gzip", "vpr"}, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModePipeline, ModeTrace} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var dones []int
+			// 2 benchmarks × 2 schemes = 4 cells; one serial worker, so
+			// cancelling once benchmark #1's cells have reported leaves
+			// benchmark #2 (a whole coalesced job in trace mode)
+			// undone.
+			exp, err := New(
+				WithWorkload(wl),
+				WithSchemes("conventional", "predpred"),
+				WithCommits(60000),
+				WithMode(mode),
+				WithTraceDir(t.TempDir()),
+				WithParallelism(1),
+				WithProgress(func(p Progress) {
+					dones = append(dones, p.Done)
+					if p.Done == 2 {
+						cancel()
+					}
+				}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := exp.Start(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamed int
+			for res := range r.Results() {
+				if res.Err != nil {
+					t.Errorf("%s/%s: unexpected per-run error: %v", res.Bench, res.Scheme, res.Err)
+				}
+				streamed++
+			}
+			if err := r.Wait(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Wait() = %v, want context.Canceled", err)
+			}
+			if streamed >= r.Total() {
+				t.Fatalf("cancelled run must leave finished < total, got %d of %d", streamed, r.Total())
+			}
+			if len(dones) != streamed {
+				t.Fatalf("progress callbacks (%d) must match streamed results (%d)", len(dones), streamed)
+			}
+			for i, d := range dones {
+				if d != i+1 {
+					t.Fatalf("Progress.Done not monotone: %v", dones)
+				}
+			}
+		})
+	}
+}
 
 // rate's divide-by-zero guard is what keeps MemStats usable on trace
 // runs, where no memory hierarchy exists and every counter is zero.

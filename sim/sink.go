@@ -52,9 +52,12 @@ type record struct {
 	Unguarded        uint64  `json:"unguarded"`
 	SelectOps        uint64  `json:"select_ops"`
 	ShadowMispredPct float64 `json:"shadow_mispredict_pct"`
-	L1DMissPct       float64 `json:"l1d_miss_pct"`
-	L2MissPct        float64 `json:"l2_miss_pct"`
-	Err              string  `json:"error,omitempty"`
+	// The miss rates are pointers so trace-mode runs — which have no
+	// memory hierarchy at all — serialize as absent (JSON) or empty
+	// (CSV) cells instead of a fictitious perfect 0.0% hierarchy.
+	L1DMissPct *float64 `json:"l1d_miss_pct,omitempty"`
+	L2MissPct  *float64 `json:"l2_miss_pct,omitempty"`
+	Err        string   `json:"error,omitempty"`
 }
 
 func toRecord(r Result) record {
@@ -80,8 +83,13 @@ func toRecord(r Result) record {
 		Unguarded:        st.Unguarded,
 		SelectOps:        st.SelectOps,
 		ShadowMispredPct: round3(100 * st.ShadowMispredictRate()),
-		L1DMissPct:       round3(100 * r.Mem.L1DMissRate()),
-		L2MissPct:        round3(100 * r.Mem.L2MissRate()),
+	}
+	// Trace mode has no cache hierarchy: leave the miss-rate cells
+	// unset rather than rendering an all-zero (perfect-looking) one.
+	if r.Mode != ModeTrace {
+		l1d := round3(100 * r.Mem.L1DMissRate())
+		l2 := round3(100 * r.Mem.L2MissRate())
+		rec.L1DMissPct, rec.L2MissPct = &l1d, &l2
 	}
 	if r.Err != nil {
 		rec.Err = r.Err.Error()
@@ -162,6 +170,16 @@ func recordRow(rec record) ([]string, error) {
 			row[i] = strconv.FormatUint(f.Uint(), 10)
 		case reflect.Float64:
 			row[i] = strconv.FormatFloat(f.Float(), 'f', 3, 64)
+		case reflect.Pointer:
+			// Unset optional figure (e.g. miss rates on a trace-mode
+			// run): an empty cell, not a fabricated zero.
+			if f.IsNil() {
+				row[i] = ""
+			} else if e := f.Elem(); e.Kind() == reflect.Float64 {
+				row[i] = strconv.FormatFloat(e.Float(), 'f', 3, 64)
+			} else {
+				return nil, fmt.Errorf("sim: unsupported record pointer field kind %v", e.Kind())
+			}
 		default:
 			return nil, fmt.Errorf("sim: unsupported record field kind %v", f.Kind())
 		}

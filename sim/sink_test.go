@@ -51,6 +51,20 @@ func fixedResults() []sim.Result {
 			Seq: 2, Bench: "twolf", Class: "int", Scheme: "predpred", IfConverted: true,
 			Err: errors.New("config: fetch width 0 / ROB 4 too small"),
 		},
+		{
+			// A trace-mode run: no timing model and no memory hierarchy,
+			// so the mem cells must stay empty rather than reading as a
+			// perfect 0.0% hierarchy.
+			Seq: 3, Tag: "fig6a", Bench: "vpr", Class: "int", Scheme: "predpred",
+			Mode: sim.ModeTrace, IfConverted: true,
+			Stats: sim.Stats{
+				Committed:    60000,
+				CondBranches: 8000, BranchMispred: 400,
+				EarlyResolved: 1000, EarlyResolvedHit: 250,
+				PredPredictions: 7000, PredMispredicts: 500,
+				ShadowCondBranches: 8000, ShadowMispred: 600,
+			},
+		},
 	}
 }
 
@@ -81,8 +95,8 @@ func TestJSONSinkGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	// NDJSON: one object per line, one line per result.
-	if n := strings.Count(buf.String(), "\n"); n != 3 {
-		t.Errorf("expected 3 NDJSON lines, got %d", n)
+	if n := strings.Count(buf.String(), "\n"); n != 4 {
+		t.Errorf("expected 4 NDJSON lines, got %d", n)
 	}
 	checkGolden(t, "results.ndjson.golden", buf.Bytes())
 }
@@ -92,10 +106,57 @@ func TestCSVSinkGolden(t *testing.T) {
 	if err := sim.EmitAll(sim.NewCSVSink(&buf), fixedResults()); err != nil {
 		t.Fatal(err)
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 4 { // header + 3 rows
-		t.Errorf("expected 4 CSV lines, got %d", n)
+	if n := strings.Count(buf.String(), "\n"); n != 5 { // header + 4 rows
+		t.Errorf("expected 5 CSV lines, got %d", n)
 	}
 	checkGolden(t, "results.csv.golden", buf.Bytes())
+}
+
+// TestSinksOmitTraceModeMemCells pins the trace-mode contract: a run
+// with no memory hierarchy serializes without miss-rate figures — the
+// JSON object has no l1d/l2 keys at all and the CSV cells are empty —
+// while pipeline rows keep real (even genuinely zero) figures.
+func TestSinksOmitTraceModeMemCells(t *testing.T) {
+	rs := fixedResults()
+	var jbuf bytes.Buffer
+	if err := sim.EmitAll(sim.NewJSONSink(&jbuf), rs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jbuf.String()), "\n")
+	for i, line := range lines {
+		isTrace := strings.Contains(line, `"mode":"trace"`)
+		hasMem := strings.Contains(line, `"l1d_miss_pct"`) || strings.Contains(line, `"l2_miss_pct"`)
+		if isTrace && hasMem {
+			t.Errorf("JSON line %d: trace-mode run must omit miss-rate keys: %s", i, line)
+		}
+		if !isTrace && !hasMem {
+			t.Errorf("JSON line %d: pipeline run must keep miss-rate keys: %s", i, line)
+		}
+	}
+
+	var cbuf bytes.Buffer
+	if err := sim.EmitAll(sim.NewCSVSink(&cbuf), rs); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	header := strings.Split(rows[0], ",")
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for i, row := range rows[1:] {
+		cells := strings.Split(row, ",")
+		isTrace := cells[col["mode"]] == "trace"
+		for _, name := range []string{"l1d_miss_pct", "l2_miss_pct"} {
+			got := cells[col[name]]
+			if isTrace && got != "" {
+				t.Errorf("CSV row %d: trace-mode %s = %q, want empty cell", i, name, got)
+			}
+			if !isTrace && got == "" {
+				t.Errorf("CSV row %d: pipeline %s must not be empty", i, name)
+			}
+		}
+	}
 }
 
 func TestTableSink(t *testing.T) {

@@ -434,10 +434,20 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 }
 
 // runPoint executes the base experiment's full cell matrix under one
-// point's configuration, serially within the owning worker. ok is
-// false when the context was cancelled mid-point.
+// point's configuration, serially within the owning worker. Trace-mode
+// cells coalesce into one single-pass replay per benchmark, exactly as
+// the plain runner's worker does, with the point's axis mutations
+// stacked on top of each scheme's base configuration. ok is false when
+// the context was cancelled mid-point.
 func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvider, sessions map[string]*stats.Session, pt Point, r *SweepRunner) (SweepResult, bool) {
 	e := s.base
+	pointCfg := func(scheme string) (Config, error) {
+		cfg, err := e.baseConfig(scheme)
+		if err != nil {
+			return cfg, err
+		}
+		return cfg, s.applyPoint(&cfg, pt)
+	}
 	out := SweepResult{Point: pt}
 	seq := 0
 	for _, pg := range wl.progs {
@@ -446,26 +456,35 @@ func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvide
 			prog = pg.Converted
 		}
 		for _, m := range e.mode.modes() {
+			if m == ModeTrace {
+				j := simJob{
+					seq: seq, bench: pg.Spec.Name, class: pg.Spec.Class,
+					schemes: e.schemes, mode: m, prog: prog, pg: pg,
+				}
+				seq += len(e.schemes)
+				rs, ok := e.runTraceJob(ctx, traces, sessions, j, pointCfg)
+				if !ok {
+					return out, false
+				}
+				for _, res := range rs {
+					out.Results = append(out.Results, res)
+					r.reportCell(e.progress, res)
+				}
+				continue
+			}
 			for _, scheme := range e.schemes {
 				j := simJob{
 					seq: seq, bench: pg.Spec.Name, class: pg.Spec.Class,
-					scheme: scheme, mode: m, prog: prog, pg: pg,
+					schemes: []string{scheme}, mode: m, prog: prog, pg: pg,
 				}
 				seq++
-				cfg, err := schemeConfig(scheme)
-				if err == nil {
-					if e.mutate != nil {
-						e.mutate(&cfg)
-					}
-					err = s.applyPoint(&cfg, pt)
-				}
 				var res Result
-				if err != nil {
-					res = j.result(e)
+				if cfg, err := pointCfg(scheme); err != nil {
+					res = j.result(e, 0)
 					res.Err = err
 				} else {
 					var ok bool
-					res, ok = e.runCell(ctx, cfg, traces, sessions, j)
+					res, ok = e.runCell(ctx, cfg, j, 0)
 					if !ok {
 						return out, false
 					}
