@@ -22,8 +22,6 @@ import (
 	"os"
 	"os/signal"
 
-	"repro/internal/ifconvert"
-	"repro/internal/program"
 	"repro/sim"
 )
 
@@ -86,7 +84,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prog, err = program.Assemble(*asmFile, string(text))
+		prog, err = sim.Assemble(*asmFile, string(text))
 		if err != nil {
 			fatal(err)
 		}
@@ -98,8 +96,8 @@ func main() {
 		}
 	}
 	if *ifconv {
-		prof := ifconvert.ProfileProgram(prog, *profile)
-		res, err := ifconvert.Convert(prog, ifconvert.DefaultOptions(prof))
+		prof := sim.ProfileProgram(prog, *profile)
+		res, err := sim.IfConvert(prog, sim.DefaultIfConvertOptions(prof))
 		if err != nil {
 			fatal(err)
 		}

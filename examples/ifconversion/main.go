@@ -11,7 +11,6 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/ifconvert"
 	"repro/sim"
 )
 
@@ -22,7 +21,7 @@ func main() {
 	}
 
 	// Step 1: profile.
-	prof := ifconvert.ProfileProgram(plain, 200000)
+	prof := sim.ProfileProgram(plain, 200000)
 	type hb struct {
 		pc   int
 		rate float64
@@ -40,7 +39,7 @@ func main() {
 	}
 
 	// Step 2: if-convert the regions those branches guard.
-	res, err := ifconvert.Convert(plain, ifconvert.DefaultOptions(prof))
+	res, err := sim.IfConvert(plain, sim.DefaultIfConvertOptions(prof))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/ifconvert"
 	"repro/sim"
 )
 
@@ -23,8 +22,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof := ifconvert.ProfileProgram(plain, 200000)
-	res, err := ifconvert.Convert(plain, ifconvert.DefaultOptions(prof))
+	prof := sim.ProfileProgram(plain, 200000)
+	res, err := sim.IfConvert(plain, sim.DefaultIfConvertOptions(prof))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ConfigFile is the config's conventional name at the module root.
+const ConfigFile = ".simlint.json"
+
+// Config is the suite's small declarative configuration. Today it
+// carries only the layering allowlist; every other convention is
+// expressed in code (directives) so it stays next to what it governs.
+type Config struct {
+	Layering LayeringConfig `json:"layering"`
+}
+
+// LayeringConfig configures the layering analyzer.
+type LayeringConfig struct {
+	// Allow lists the explicit exceptions to the import rules. Each
+	// entry must carry a reason; an allowlist nobody can audit is just
+	// a hole.
+	Allow []LayeringAllow `json:"allow"`
+}
+
+// LayeringAllow permits one importer → import edge the layering rules
+// would otherwise reject.
+type LayeringAllow struct {
+	// From is the importing package's path.
+	From string `json:"from"`
+	// To is the permitted import: an exact path, or a prefix written
+	// "prefix/..." to cover a subtree.
+	To string `json:"to"`
+	// Reason says why the exception is sound.
+	Reason string `json:"reason"`
+}
+
+// Allows reports whether the allowlist covers the edge from → to.
+func (c *LayeringConfig) Allows(from, to string) bool {
+	for _, a := range c.Allow {
+		if a.From != from {
+			continue
+		}
+		if prefix, ok := strings.CutSuffix(a.To, "/..."); ok {
+			if to == prefix || strings.HasPrefix(to, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if a.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadConfig reads a config file. A missing file yields the zero
+// configuration; a malformed one (including an allowlist entry with no
+// reason) is an error.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Config{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	for _, a := range c.Layering.Allow {
+		if a.From == "" || a.To == "" {
+			return nil, fmt.Errorf("lint: %s: layering allow entry needs from and to", path)
+		}
+		if strings.TrimSpace(a.Reason) == "" {
+			return nil, fmt.Errorf("lint: %s: layering allow %s -> %s needs a reason", path, a.From, a.To)
+		}
+	}
+	return &c, nil
+}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), lint.ConfigFile)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfig(t *testing.T) {
+	t.Run("missing file is the zero config", func(t *testing.T) {
+		c, err := lint.LoadConfig(filepath.Join(t.TempDir(), lint.ConfigFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Layering.Allow) != 0 {
+			t.Errorf("zero config expected, got %+v", c)
+		}
+	})
+	t.Run("valid allowlist", func(t *testing.T) {
+		path := writeConfig(t, `{"layering": {"allow": [
+			{"from": "repro/examples/quickstart", "to": "repro/internal/...", "reason": "pedagogical"}
+		]}}`)
+		c, err := lint.LoadConfig(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Layering.Allows("repro/examples/quickstart", "repro/internal/program") {
+			t.Error("allowlist entry not honored")
+		}
+	})
+	t.Run("entry without reason is rejected", func(t *testing.T) {
+		path := writeConfig(t, `{"layering": {"allow": [{"from": "a", "to": "b"}]}}`)
+		if _, err := lint.LoadConfig(path); err == nil || !strings.Contains(err.Error(), "reason") {
+			t.Errorf("want reason error, got %v", err)
+		}
+	})
+	t.Run("unknown fields are rejected", func(t *testing.T) {
+		path := writeConfig(t, `{"layerng": {}}`)
+		if _, err := lint.LoadConfig(path); err == nil {
+			t.Error("want error for unknown field")
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow keeps long-running drain loops cancellable: a `for {}` or a
+// range over a channel inside a function that has a context.Context in
+// scope must observe that context somewhere in its body (ctx.Done() in
+// a select, ctx.Err() checks, passing ctx onward). The runner and
+// sweep drain loops are exactly where a hung worker would otherwise
+// wedge the whole process beyond Ctrl-C: the context is the only
+// escape hatch, and a loop that ignores it has opted out of
+// cancellation silently.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "unbounded loops with a context in scope must observe ctx.Done/ctx.Err",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCtxFunc(pass, fn.Type, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkCtxFunc(pass, fn.Type, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFunc scans one function body for unbounded loops that ignore
+// an in-scope context.
+func checkCtxFunc(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals are visited on their own so the
+		// "context in scope" judgment uses the right function.
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		var loop ast.Node
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			if v.Cond == nil {
+				loop = v
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					loop = v
+				}
+			}
+		}
+		if loop == nil {
+			return true
+		}
+		if !contextInScope(pass, ft, body, loop.Pos()) {
+			return true
+		}
+		if usesContext(pass, loop) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "unbounded loop ignores the context in scope; select on ctx.Done() or check ctx.Err() so the loop stays cancellable")
+		return true
+	})
+}
+
+// contextInScope reports whether a context.Context variable is visible
+// at pos: a parameter of the enclosing function, or a local declared
+// before the loop.
+func contextInScope(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, pos token.Pos) bool {
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if tv, ok := pass.Pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := pass.Pkg.Info.Defs[id]; ok && obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// usesContext reports whether the loop references any context-typed
+// expression — a select case on ctx.Done(), a ctx.Err() check, or
+// passing ctx into a call all count.
+func usesContext(pass *Pass, loop ast.Node) bool {
+	used := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj != nil && isContextType(obj.Type()) {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// isContextType matches context.Context (and fields/receivers typed as
+// it).
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestCtxflow(t *testing.T) {
+	runCorpus(t, "ctxflow", one(lint.Ctxflow), nil, lint.RunOptions{Stale: true})
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder guards the determinism guarantee behind the equality tests
+// and content-keyed caches: Go map iteration order is random, so a
+// `range` over a map whose body writes into ordered state — appends to
+// a slice, writes through a builder/writer, element writes into an
+// outer slice — produces a different order every run. The blessed
+// shape is "collect keys, sort, range the sorted slice": an append of
+// the loop variables into a slice that is sorted immediately after the
+// loop is therefore exempt, and writes into another map are order-
+// independent and exempt too.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc:  "range over a map must not feed slices, sinks or builders in nondeterministic order",
+	Run:  runDetorder,
+}
+
+func runDetorder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRange(pass, rs)
+			return true
+		})
+	}
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-dependent
+// writes to state declared outside the loop.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is walked by its own checkMapRange
+			// call; attribute its body's writes there, not here.
+			if t := pass.TypeOf(st.X); t != nil && isMap(t) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, st)
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "map iteration order is random: sends on %s arrive in nondeterministic order; range over sorted keys instead",
+				render(st.Chan))
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, st)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-dependent assignment targets: slice
+// element writes and appends into slices declared outside the loop.
+// Map element writes are order-independent and pass.
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			base := pass.TypeOf(ix.X)
+			if base == nil || isMap(base) {
+				continue
+			}
+			if obj := rootObject(pass, ix.X); obj != nil && declaredOutside(obj, rs) {
+				pass.Reportf(as.Pos(), "map iteration order is random: element writes into %s happen in nondeterministic order; range over sorted keys instead",
+					render(ix.X))
+			}
+		}
+	}
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		obj := rootObject(pass, call.Args[0])
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		if sortedAfter(pass, rs, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "map iteration order is random: append into %s collects in nondeterministic order; sort %s right after the loop (which exempts this pattern) or range over sorted keys",
+			obj.Name(), obj.Name())
+	}
+}
+
+// checkMapRangeCall flags writer/sink method calls on receivers
+// declared outside the loop: anything streamed per map entry is
+// emitted in nondeterministic order.
+func checkMapRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	if pkg, name := calleePkgFunc(pass, call); pkg == "fmt" && len(call.Args) > 0 {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if obj := rootObject(pass, call.Args[0]); obj != nil && declaredOutside(obj, rs) {
+				pass.Reportf(call.Pos(), "map iteration order is random: fmt.%s writes rows in nondeterministic order; range over sorted keys instead", name)
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Emit":
+	default:
+		return
+	}
+	// Only methods (a receiver value outside the loop), not package
+	// functions that happen to share a name.
+	if pass.Pkg.Info.Selections[sel] == nil {
+		return
+	}
+	if obj := rootObject(pass, sel.X); obj != nil && declaredOutside(obj, rs) {
+		pass.Reportf(call.Pos(), "map iteration order is random: %s.%s emits in nondeterministic order; range over sorted keys instead",
+			render(sel.X), sel.Sel.Name)
+	}
+}
+
+// sortedAfter recognizes the canonical collect-then-sort shape: a
+// statement following the range — in its own statement list or any
+// enclosing one up to the function boundary — sorts the collected
+// slice (sort.* or slices.Sort*), which makes the collection order
+// irrelevant. The outward search accepts nested collection loops whose
+// sort follows the outermost loop.
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, obj types.Object) bool {
+	for _, lvl := range enclosingStmtLists(pass, rs) {
+		for _, st := range lvl.list[lvl.index+1:] {
+			if isSortOf(pass, st, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSortOf matches `sort.Xxx(obj...)` / `slices.SortXxx(obj...)`
+// expression statements.
+func isSortOf(pass *Pass, st ast.Stmt, obj types.Object) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	pkg, name := calleePkgFunc(pass, call)
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable", "Sort", "SortFunc", "SortStableFunc":
+	default:
+		return false
+	}
+	return rootObject(pass, call.Args[0]) == obj
+}
+
+// stmtListLevel is one statement list on the path from rs up to its
+// enclosing function, with the index of the statement containing rs.
+type stmtListLevel struct {
+	list  []ast.Stmt
+	index int
+}
+
+// enclosingStmtLists returns every statement list (block, case clause
+// or comm clause body) on the path from rs to the innermost enclosing
+// function body. Lists outside that function are excluded: a sort
+// there would not run after each execution of the loop.
+func enclosingStmtLists(pass *Pass, rs *ast.RangeStmt) []stmtListLevel {
+	var out []stmtListLevel
+	for _, f := range pass.Pkg.Files {
+		if f.Pos() > rs.Pos() || f.End() < rs.End() {
+			continue
+		}
+		// Innermost function body containing rs bounds the search.
+		var boundary *ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || n.Pos() > rs.Pos() || n.End() < rs.End() {
+				return false
+			}
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil && v.Body.Pos() <= rs.Pos() && v.Body.End() >= rs.End() {
+					boundary = v.Body
+				}
+			case *ast.FuncLit:
+				if v.Body.Pos() <= rs.Pos() && v.Body.End() >= rs.End() {
+					boundary = v.Body
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || n.Pos() > rs.Pos() || n.End() < rs.End() {
+				return false
+			}
+			if boundary != nil && (n.Pos() < boundary.Pos() || n.End() > boundary.End()) {
+				return true
+			}
+			var list []ast.Stmt
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				list = v.List
+			case *ast.CaseClause:
+				list = v.Body
+			case *ast.CommClause:
+				list = v.Body
+			}
+			for i, st := range list {
+				if st.Pos() <= rs.Pos() && st.End() >= rs.End() {
+					out = append(out, stmtListLevel{list, i})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rootObject resolves an expression to the variable at its root:
+// x, x.f, x[i].f all resolve to x.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Pkg.Info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj was declared outside the whole
+// range statement (loop variables count as inside; package scope
+// counts as outside).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// isBuiltin reports whether fun denotes the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleePkgFunc destructures a pkg.Func call into its package name and
+// function name ("", "" when the callee is not a package function).
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name(), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// render prints a short source form of an expression for messages.
+func render(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return render(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return render(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(v.X)
+	case *ast.ParenExpr:
+		return render(v.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive prefixes. A //simlint:ignore suppresses one check's
+// diagnostics on its own line or the line directly below; a
+// //simlint:hotpath line in a function's doc comment opts the function
+// into the hotalloc allocation rules.
+const (
+	ignorePrefix = "//simlint:ignore"
+	hotpathBare  = "//simlint:hotpath"
+)
+
+// ignoreDirective is one parsed //simlint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Pos
+	file   string
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+// parseIgnores collects every ignore directive in a package, reporting
+// malformed ones (no check name, or no reason — a suppression must say
+// why it is sound) through report.
+func parseIgnores(fset *token.FileSet, p *Package, report func(Diagnostic)) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Diagnostic{Check: "ignore", Pos: c.Pos(),
+						Message: "//simlint:ignore needs a check name and a reason"})
+					continue
+				}
+				if len(fields) < 2 {
+					report(Diagnostic{Check: "ignore", Pos: c.Pos(),
+						Message: "//simlint:ignore " + fields[0] + " needs a reason: say why the suppression is sound"})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &ignoreDirective{
+					pos: c.Pos(), file: pos.Filename, line: pos.Line,
+					check: fields[0], reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diagnostics through the package set's ignore
+// directives. A directive at line L suppresses diagnostics of its
+// check at line L (trailing comment) or L+1 (the statement below).
+// With stale set, a directive whose check ran but matched nothing is
+// itself reported — suppressions cannot outlive the violation they
+// justify.
+func applyIgnores(fset *token.FileSet, pkgs []*Package, ran []*Analyzer, ds []Diagnostic, stale bool) []Diagnostic {
+	var malformed []Diagnostic
+	var ignores []*ignoreDirective
+	for _, p := range pkgs {
+		ignores = append(ignores, parseIgnores(fset, p, func(d Diagnostic) {
+			malformed = append(malformed, d)
+		})...)
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	index := make(map[key]*ignoreDirective, len(ignores))
+	for _, ig := range ignores {
+		index[key{ig.file, ig.line, ig.check}] = ig
+		index[key{ig.file, ig.line + 1, ig.check}] = ig
+	}
+	var kept []Diagnostic
+	for _, d := range ds {
+		pos := fset.Position(d.Pos)
+		if ig := index[key{pos.Filename, pos.Line, d.Check}]; ig != nil {
+			ig.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, malformed...)
+	if stale {
+		ranSet := make(map[string]bool, len(ran))
+		for _, a := range ran {
+			ranSet[a.Name] = true
+		}
+		for _, ig := range ignores {
+			switch {
+			case ig.used:
+			case !ranSet[ig.check]:
+				// The suppressed check did not run (e.g. a module-level
+				// check under the per-package vet protocol, or a -checks
+				// subset): staleness cannot be judged.
+			default:
+				kept = append(kept, Diagnostic{Check: "ignore", Pos: ig.pos,
+					Message: "stale //simlint:ignore " + ig.check + ": no " + ig.check +
+						" diagnostic on this or the next line; remove the suppression"})
+			}
+		}
+	}
+	sortDiagnostics(fset, kept)
+	return kept
+}
+
+// hotpathFuncs returns the package's functions whose doc comment
+// carries a //simlint:hotpath line.
+func hotpathFuncs(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == hotpathBare {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

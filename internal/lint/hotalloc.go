@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc enforces the zero-allocation contract of functions marked
+// //simlint:hotpath (the batched trace decode, the replay frontend
+// step, the per-scheme engine update/train paths): inside such a
+// function it flags the constructs that are known to allocate on every
+// call — fmt formatting, append into a slice with no preallocated
+// capacity, conversions of concrete values to interfaces, closures
+// that capture variables, and map literals or make(map) — because one
+// allocation per event multiplied by a 55M-events/s replay is the
+// difference between the benchmark gate passing and failing. Cold
+// paths inside a hot function (malformed-input errors) carry a
+// //simlint:ignore hotalloc with the justification.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//simlint:hotpath functions must not use known-allocating constructs",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	for _, fd := range hotpathFuncs(pass.Pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		checkHotFunc(pass, fd)
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, v)
+		case *ast.FuncLit:
+			if capt := firstCapture(pass, fd, v); capt != "" {
+				pass.Reportf(v.Pos(), "hot path: closure captures %s and allocates on every call; hoist the function value or pass state explicitly", capt)
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(v); t != nil && isMap(t) {
+				pass.Reportf(v.Pos(), "hot path: map literal allocates; hoist the map out of the hot function")
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pass, v)
+		case *ast.ValueSpec:
+			checkHotValueSpec(pass, v)
+		case *ast.ReturnStmt:
+			// Returns of concrete values through interface results are
+			// caught by the conversion walk on the call side; checking
+			// them here too would double-report.
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// fmt.* always allocates (variadic ...any boxes every operand).
+	if pkg, name := calleePkgFunc(pass, call); pkg == "fmt" {
+		pass.Reportf(call.Pos(), "hot path: fmt.%s allocates on every call; hoist formatting out of the hot path", name)
+		return
+	}
+	// Conversion of a concrete value to an interface type.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isInterface(tv.Type) && isConcreteValue(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "hot path: converting a concrete value to interface %s allocates; keep the value concrete", tv.Type.String())
+		}
+		return
+	}
+	// append growing an unsized slice.
+	if isBuiltin(pass, call.Fun, "append") && len(call.Args) > 0 {
+		if obj := rootObject(pass, call.Args[0]); obj != nil && !preallocated(pass, fd, obj) {
+			pass.Reportf(call.Pos(), "hot path: append grows %s, which has no preallocated capacity here; size it with make(..., 0, cap) outside the loop", obj.Name())
+		}
+		return
+	}
+	// make(map[...]...).
+	if isBuiltin(pass, call.Fun, "make") && len(call.Args) > 0 {
+		if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok && tv.IsType() && isMap(tv.Type) {
+			pass.Reportf(call.Pos(), "hot path: make(map) allocates; hoist the map out of the hot function")
+		}
+	}
+}
+
+// checkHotAssign flags assignments that box a concrete value into an
+// interface-typed location.
+func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
+	n := len(as.Lhs)
+	if len(as.Rhs) != n {
+		return // multi-value call assignment: conversions happen callee-side
+	}
+	for i := 0; i < n; i++ {
+		lt := pass.TypeOf(as.Lhs[i])
+		if lt == nil || !isInterface(lt) {
+			continue
+		}
+		if isConcreteValue(pass, as.Rhs[i]) {
+			pass.Reportf(as.Pos(), "hot path: assigning a concrete value to interface-typed %s allocates; keep the location concrete", render(as.Lhs[i]))
+		}
+	}
+}
+
+// checkHotValueSpec flags var declarations with an explicit interface
+// type initialized from concrete values.
+func checkHotValueSpec(pass *Pass, vs *ast.ValueSpec) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[vs.Type]
+	if !ok || !isInterface(tv.Type) {
+		return
+	}
+	for _, v := range vs.Values {
+		if isConcreteValue(pass, v) {
+			pass.Reportf(vs.Pos(), "hot path: initializing an interface-typed variable from a concrete value allocates; keep the variable concrete")
+		}
+	}
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isConcreteValue reports whether e is a non-nil value of concrete
+// (non-interface) type — the operand shape whose interface conversion
+// allocates.
+func isConcreteValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	if _, untypedNil := tv.Type.(*types.Basic); untypedNil && tv.Type.(*types.Basic).Kind() == types.UntypedNil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}
+
+// firstCapture returns the name of a variable the function literal
+// captures from the enclosing function, or "" when it captures
+// nothing (a static closure does not allocate per call).
+func firstCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < lit.Pos() {
+			found = obj.Name()
+		}
+		return true
+	})
+	return found
+}
+
+// preallocated reports whether obj's declaration inside fd makes a
+// slice with explicit capacity (make with three arguments). Slices
+// declared outside the function — parameters, fields, package state —
+// are assumed caller-sized and pass.
+func preallocated(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return true
+	}
+	// Parameters and receivers are caller-sized.
+	if fd.Type.Params != nil && within(obj, fd.Type.Params) {
+		return true
+	}
+	if fd.Recv != nil && within(obj, fd.Recv) {
+		return true
+	}
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				id, isID := lhs.(*ast.Ident)
+				if !isID || pass.Pkg.Info.Defs[id] != obj || i >= len(v.Rhs) {
+					continue
+				}
+				if makeWithCap(pass, v.Rhs[i]) {
+					ok = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if pass.Pkg.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(v.Values) && makeWithCap(pass, v.Values[i]) {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func within(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// makeWithCap matches make([]T, len, cap) — the only declaration shape
+// that guarantees append stays allocation-free up to cap.
+func makeWithCap(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isBuiltin(pass, call.Fun, "make") && len(call.Args) == 3
+}

@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Regname checks registry lookups against registrations: a string
+// literal passed to a scheme, workload, knob or benchmark lookup must
+// name something actually registered somewhere in the build. The
+// registries resolve names at run time, so a typo in
+// WithAxis("pvt.entires", ...) is otherwise discovered two hours into
+// a sweep instead of in CI. The analyzer needs every registration site
+// at once, so it is module-level and does not run under the
+// per-package vet protocol.
+var Regname = &Analyzer{
+	Name:   "regname",
+	Doc:    "string literals in registry lookups must name something registered in the build",
+	Module: true,
+	Run:    runRegname,
+}
+
+// registry name-spaces.
+const (
+	nsScheme   = "scheme"
+	nsWorkload = "workload"
+	nsKnob     = "knob"
+	nsBench    = "benchmark"
+)
+
+func runRegname(pass *Pass) {
+	reg := map[string]map[string]bool{
+		nsScheme:   {},
+		nsWorkload: {},
+		nsKnob:     {},
+		nsBench:    {},
+	}
+	for _, p := range pass.All {
+		collectRegistrations(p, reg)
+	}
+	for _, p := range pass.All {
+		checkLookups(pass, p, reg)
+	}
+}
+
+// collectRegistrations harvests registered names from one package:
+// SchemeSpec/WorkloadSpec/Mutator composite literals with a literal
+// Name field, RegisterKnob's first argument, and the benchmark names
+// born inside bench.Suite (first string argument of its spec-builder
+// calls).
+func collectRegistrations(p *Package, reg map[string]map[string]bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				ns := ""
+				switch namedTypeName(p, v) {
+				case "SchemeSpec":
+					ns = nsScheme
+				case "WorkloadSpec":
+					ns = nsWorkload
+				case "Mutator":
+					ns = nsKnob
+				}
+				if ns == "" {
+					return true
+				}
+				if name, ok := litFieldString(v, "Name"); ok {
+					reg[ns][name] = true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(p, v); fn != nil && fn.Name() == "RegisterKnob" && len(v.Args) > 0 {
+					if s, ok := stringLit(v.Args[0]); ok {
+						reg[nsKnob][s] = true
+					}
+				}
+			case *ast.FuncDecl:
+				if v.Name.Name == "Suite" && p.Types != nil && p.Types.Name() == "bench" && v.Body != nil {
+					ast.Inspect(v.Body, func(m ast.Node) bool {
+						call, ok := m.(*ast.CallExpr)
+						if !ok || len(call.Args) == 0 {
+							return true
+						}
+						if s, ok := stringLit(call.Args[0]); ok {
+							reg[nsBench][s] = true
+						}
+						return true
+					})
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLookups verifies every literal lookup argument in one package
+// against the collected registrations.
+func checkLookups(pass *Pass, p *Package, reg map[string]map[string]bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				// A SchemeSpec's Base field names the scheme it derives
+				// from — a lookup, resolved at registration time.
+				if namedTypeName(p, v) == "SchemeSpec" {
+					if base, ok := litFieldString(v, "Base"); ok && base != "" {
+						if !reg[nsScheme][base] {
+							reportUnknown(pass, p, fieldValuePos(v, "Base"), nsScheme, base, reg)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkLookupCall(pass, p, v, reg)
+			}
+			return true
+		})
+	}
+}
+
+func checkLookupCall(pass *Pass, p *Package, call *ast.CallExpr, reg map[string]map[string]bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name()
+	}
+	checkArg := func(i int, ns string) {
+		if i >= len(call.Args) {
+			return
+		}
+		if s, ok := stringLit(call.Args[i]); ok && !reg[ns][s] {
+			reportUnknown(pass, p, call.Args[i].Pos(), ns, s, reg)
+		}
+	}
+	checkAll := func(from int, ns string) {
+		for i := from; i < len(call.Args); i++ {
+			s, ok := stringLit(call.Args[i])
+			if !ok || reg[ns][s] {
+				continue
+			}
+			reportUnknown(pass, p, call.Args[i].Pos(), ns, s, reg)
+		}
+	}
+	switch fn.Name() {
+	case "ResolveScheme", "MustResolveScheme":
+		checkArg(0, nsScheme)
+	case "WithSchemes":
+		checkAll(0, nsScheme)
+	case "ResolveWorkload":
+		checkArg(0, nsWorkload)
+	case "WithAxis", "ResolveMutator":
+		checkArg(0, nsKnob)
+	case "Set":
+		// config.Set(cfg, knob, value); the bare name is common, so
+		// require the config package.
+		if pkgName == "config" {
+			checkArg(1, nsKnob)
+		}
+	case "Find":
+		if pkgName == "bench" {
+			checkArg(0, nsBench)
+		}
+	case "WithSuite", "SuiteSpecs":
+		// Entries resolve against workloads first, then benchmarks;
+		// path-like entries are workload spec files on disk.
+		for _, a := range call.Args {
+			s, ok := stringLit(a)
+			if !ok || looksLikeSpecFile(s) {
+				continue
+			}
+			if reg[nsWorkload][s] || reg[nsBench][s] {
+				continue
+			}
+			reportUnknown(pass, p, a.Pos(), "workload or benchmark", s, reg)
+		}
+	}
+}
+
+func reportUnknown(pass *Pass, p *Package, pos token.Pos, ns, name string, reg map[string]map[string]bool) {
+	known := knownNames(ns, reg)
+	msg := "%q is not a registered %s in this build"
+	if known != "" {
+		pass.Reportf(pos, msg+" (known: %s)", name, ns, known)
+		return
+	}
+	pass.Reportf(pos, msg, name, ns)
+}
+
+// knownNames renders the valid names of a name-space (or the union for
+// the combined workload/benchmark space), capped so messages stay
+// readable.
+func knownNames(ns string, reg map[string]map[string]bool) string {
+	var sets []map[string]bool
+	switch ns {
+	case nsScheme, nsWorkload, nsKnob, nsBench:
+		sets = append(sets, reg[ns])
+	default:
+		sets = append(sets, reg[nsWorkload], reg[nsBench])
+	}
+	var names []string
+	for _, set := range sets {
+		for n := range set {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	const maxShown = 8
+	if len(names) > maxShown {
+		names = append(names[:maxShown:maxShown], "...")
+	}
+	return strings.Join(names, ", ")
+}
+
+// looksLikeSpecFile mirrors the workload loader's file detection:
+// entries with path separators or spec-file extensions are loaded from
+// disk, not resolved by name.
+func looksLikeSpecFile(s string) bool {
+	if strings.ContainsAny(s, `/\`) {
+		return true
+	}
+	return strings.HasSuffix(s, ".json") || strings.HasSuffix(s, ".toml")
+}
+
+// namedTypeName returns the name of a composite literal's named type
+// ("" when the literal's type is unnamed or unknown).
+func namedTypeName(p *Package, lit *ast.CompositeLit) string {
+	t := p.Info.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// litFieldString extracts field's value from a keyed composite literal
+// when it is a string literal.
+func litFieldString(lit *ast.CompositeLit, field string) (string, bool) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); !ok || id.Name != field {
+			continue
+		}
+		return stringLit(kv.Value)
+	}
+	return "", false
+}
+
+// fieldValuePos locates field's value position for reporting.
+func fieldValuePos(lit *ast.CompositeLit, field string) token.Pos {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return kv.Value.Pos()
+		}
+	}
+	return lit.Pos()
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// calleeFunc resolves a call's callee to its function object
+// (functions and methods alike; nil for builtins, conversions and
+// indirect calls).
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "go/token"
+
+// RunOptions configures one suite run.
+type RunOptions struct {
+	// Stale enables stale-ignore verification (on for the standalone
+	// multichecker; off per default under -checks subsets where it
+	// would misfire is handled internally — only checks that actually
+	// ran are judged).
+	Stale bool
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving diagnostics: raw findings minus honored //simlint:ignore
+// suppressions, plus malformed-directive and (with opts.Stale) stale-
+// suppression findings, sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Config, opts RunOptions) []Diagnostic {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	var raw []Diagnostic
+	report := func(d Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		if a.Module {
+			a.Run(&Pass{Analyzer: a, Fset: fset, All: pkgs, Cfg: cfg, report: report})
+			continue
+		}
+		for _, p := range pkgs {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: p, All: pkgs, Cfg: cfg, report: report})
+		}
+	}
+	return applyIgnores(fset, pkgs, analyzers, raw, opts.Stale)
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedrand bans the global math/rand source: a call like rand.Intn(n)
+// draws from process-wide state, so two runs with identical specs
+// diverge and concurrent workers contend on the global lock. Every
+// random draw in the simulator must come from an explicitly seeded
+// *rand.Rand (rand.New(rand.NewSource(seed))) owned by the spec or
+// worker that uses it — that is what makes traces content-addressable
+// and runs reproducible. Constructors (New, NewSource, NewZipf) are
+// the fix, not the problem, and stay allowed.
+var Seedrand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "no global math/rand source: draw from a seeded *rand.Rand",
+	Run:  runSeedrand,
+}
+
+// seedrandAllowed lists the math/rand package-level functions that do
+// not touch the global source.
+var seedrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runSeedrand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are the seeded, local API.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if seedrandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s draws from the process-global source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) owned by the spec or worker",
+				strings.TrimPrefix(path, "math/"), fn.Name())
+			return true
+		})
+	}
+}

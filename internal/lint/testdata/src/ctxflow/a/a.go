@@ -1,0 +1,84 @@
+// Package a exercises the ctxflow analyzer: unbounded loops that must
+// observe an in-scope context.
+package a
+
+import "context"
+
+// drainIgnoring has ctx in scope but the drain loop never looks at it.
+func drainIgnoring(ctx context.Context, ch chan int) int {
+	n := 0
+	for v := range ch { // want `unbounded loop ignores the context in scope`
+		n += v
+	}
+	return n
+}
+
+// drainSelecting observes ctx.Done in a select: cancellable.
+func drainSelecting(ctx context.Context, ch chan int) int {
+	n := 0
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return n
+			}
+			n += v
+		case <-ctx.Done():
+			return n
+		}
+	}
+}
+
+// spinIgnoring is a bare for{} that never consults the context.
+func spinIgnoring(ctx context.Context, step func() bool) {
+	for { // want `unbounded loop ignores the context in scope`
+		if step() {
+			return
+		}
+	}
+}
+
+// checkErrEachIteration polls ctx.Err instead of selecting: also fine.
+func checkErrEachIteration(ctx context.Context, ch chan int) int {
+	n := 0
+	for v := range ch {
+		if ctx.Err() != nil {
+			return n
+		}
+		n += v
+	}
+	return n
+}
+
+// noContext has no context anywhere: the loop is out of ctxflow's
+// jurisdiction.
+func noContext(ch chan int) int {
+	n := 0
+	for v := range ch {
+		n += v
+	}
+	return n
+}
+
+// localContext derives a context locally before the loop: same duty.
+func localContext(ch chan int) int {
+	ctx := context.Background()
+	_ = ctx
+	n := 0
+	for v := range ch { // want `unbounded loop ignores the context in scope`
+		n += v
+	}
+	return n
+}
+
+// boundedLoops are not unbounded: conditions and slice ranges pass.
+func boundedLoops(ctx context.Context, xs []int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+// Package a exercises the detorder analyzer: map ranges feeding
+// ordered state.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted appends map keys without sorting: nondeterministic.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append into out collects in nondeterministic order`
+	}
+	return out
+}
+
+// collectSorted is the blessed collect-then-sort shape.
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// elementWrites writes map-ordered values into slice elements.
+func elementWrites(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `element writes into out happen in nondeterministic order`
+		i++
+	}
+}
+
+// intoMap writes into another map: order-independent, fine.
+func intoMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sends emits map entries on a channel in random order.
+func sends(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sends on ch arrive in nondeterministic order`
+	}
+}
+
+// streamRows writes per-entry output through fmt.
+func streamRows(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `fmt.Fprintf writes rows in nondeterministic order`
+	}
+}
+
+// builderWrites streams through a builder method.
+func builderWrites(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `sb.WriteString emits in nondeterministic order`
+	}
+	return sb.String()
+}
+
+// loopLocal collects into a slice scoped to the loop body: each
+// iteration starts fresh, so order cannot leak out.
+func loopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		local := []string{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// nested ranges a map inside a map range: the inner loop's violation is
+// attributed once, to the inner range.
+func nested(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m {
+		for k := range inner {
+			out = append(out, k) // want `append into out collects in nondeterministic order`
+		}
+	}
+	return out
+}
+
+// nestedSorted collects through a nested loop and sorts after the
+// outer loop: the collection order washes out, so it is exempt.
+func nestedSorted(ms []map[string]int) []string {
+	var out []string
+	for _, m := range ms {
+		for k := range m {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// closureNoSort collects inside a function literal whose enclosing
+// function sorts only after the literal: the sort is outside the
+// closure, so the exemption must not apply.
+func closureNoSort(m map[string]int) func() {
+	var out []string
+	fn := func() {
+		for k := range m {
+			out = append(out, k) // want `append into out collects in nondeterministic order`
+		}
+	}
+	sort.Strings(out)
+	return fn
+}
+
+// sortedInSwitch sorts after the loop inside a case body: still exempt.
+func sortedInSwitch(m map[string]int, mode int) []string {
+	var out []string
+	switch mode {
+	case 0:
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Package a exercises the hotalloc analyzer: allocation-prone
+// constructs inside //simlint:hotpath functions.
+package a
+
+import "fmt"
+
+type event struct {
+	pc int
+	ok bool
+}
+
+// step is the hot decode loop.
+//
+//simlint:hotpath
+func step(events []event, out []int) []int {
+	var names []string
+	for _, ev := range events {
+		s := fmt.Sprintf("pc=%d", ev.pc) // want `fmt.Sprintf allocates on every call`
+		names = append(names, s)         // want `append grows names, which has no preallocated capacity`
+		out = append(out, ev.pc)         // parameter: caller-sized, fine
+	}
+	_ = names
+	return out
+}
+
+// sized appends only into slices with explicit capacity.
+//
+//simlint:hotpath
+func sized(events []event) []int {
+	out := make([]int, 0, len(events))
+	for _, ev := range events {
+		out = append(out, ev.pc)
+	}
+	return out
+}
+
+// boxing converts concrete values to interfaces.
+//
+//simlint:hotpath
+func boxing(ev event) {
+	var sink any
+	sink = ev // want `assigning a concrete value to interface-typed sink allocates`
+	_ = sink
+	var eager any = ev.pc // want `initializing an interface-typed variable from a concrete value allocates`
+	_ = eager
+	_ = any(ev) // want `converting a concrete value to interface`
+}
+
+// capturing builds a fresh closure per call.
+//
+//simlint:hotpath
+func capturing(events []event) func() int {
+	n := len(events)
+	return func() int { return n } // want `closure captures n and allocates on every call`
+}
+
+// staticClosure captures nothing: a static function value, no per-call
+// allocation.
+//
+//simlint:hotpath
+func staticClosure() func() int {
+	return func() int { return 7 }
+}
+
+// mapping allocates maps in the hot path.
+//
+//simlint:hotpath
+func mapping(events []event) int {
+	seen := map[int]bool{} // want `map literal allocates`
+	for _, ev := range events {
+		seen[ev.pc] = true
+	}
+	fresh := make(map[int]bool) // want `make\(map\) allocates`
+	_ = fresh
+	return len(seen)
+}
+
+// coldError keeps a justified fmt on a malformed-input path.
+//
+//simlint:hotpath
+func coldError(events []event) error {
+	for _, ev := range events {
+		if !ev.ok {
+			return fmt.Errorf("bad event at pc %d", ev.pc) //simlint:ignore hotalloc cold malformed-input path, never taken per event
+		}
+	}
+	return nil
+}
+
+// unmarked does all of the above without the hotpath directive: no
+// diagnostics.
+func unmarked(events []event) []string {
+	var names []string
+	for _, ev := range events {
+		names = append(names, fmt.Sprintf("pc=%d", ev.pc))
+	}
+	return names
+}

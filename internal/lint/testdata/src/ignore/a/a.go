@@ -1,0 +1,26 @@
+// Package a exercises the //simlint:ignore machinery: a used
+// suppression, a stale one, and malformed ones. Expectations live in
+// the directives test, not in want comments, because the diagnostics
+// land on the directive comments themselves.
+package a
+
+import "math/rand"
+
+// suppressed carries a justified, load-bearing ignore.
+func suppressed() int {
+	return rand.Intn(10) //simlint:ignore seedrand corpus exercises a used suppression
+}
+
+// stale carries an ignore with no violation under it.
+func stale() int {
+	//simlint:ignore seedrand nothing below actually violates
+	return 4
+}
+
+// malformed directives: missing reason, missing everything.
+func malformed(r *rand.Rand) int {
+	//simlint:ignore seedrand
+	n := r.Intn(10)
+	//simlint:ignore
+	return n
+}

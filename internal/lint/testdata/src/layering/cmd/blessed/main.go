@@ -1,0 +1,7 @@
+// Command blessed has an allowlist entry for its engine import, so the
+// edge is accepted.
+package main
+
+import "internal/core"
+
+func main() { _ = core.Run() }

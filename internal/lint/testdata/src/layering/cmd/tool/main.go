@@ -1,0 +1,14 @@
+// Command tool imports both the façade (fine) and the engine (not
+// fine).
+package main
+
+import (
+	"sim"
+
+	"internal/core" // want `cmd/ must reach the simulator through the sim façade`
+)
+
+func main() {
+	_ = sim.Run()
+	_ = core.Run()
+}

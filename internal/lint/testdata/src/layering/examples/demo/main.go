@@ -1,0 +1,6 @@
+// Example demo drops below the façade.
+package main
+
+import "internal/core" // want `examples/ must reach the simulator through the sim façade`
+
+func main() { _ = core.Run() }

@@ -1,0 +1,5 @@
+// Package core stands in for an engine package below the façade.
+package core
+
+// Run is a placeholder engine entry point.
+func Run() int { return 42 }

@@ -1,0 +1,8 @@
+// Package sim stands in for the façade: it may reach down into
+// internal/*.
+package sim
+
+import "internal/core"
+
+// Run forwards to the engine.
+func Run() int { return core.Run() }

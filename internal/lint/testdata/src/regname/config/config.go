@@ -1,0 +1,26 @@
+// Package config mocks the knob registry.
+package config
+
+// Config is a placeholder target for Set.
+type Config struct{}
+
+// Mutator mirrors the knob registration record.
+type Mutator struct {
+	Name string
+	Doc  string
+}
+
+var mutators = map[string]Mutator{}
+
+// RegisterMutator registers a knob.
+func RegisterMutator(m Mutator) { mutators[m.Name] = m }
+
+// ResolveMutator looks up a knob by name.
+func ResolveMutator(name string) (Mutator, bool) { m, ok := mutators[name]; return m, ok }
+
+// Set applies a knob by name.
+func Set(c *Config, name, value string) error { return nil }
+
+func init() {
+	RegisterMutator(Mutator{Name: "conf.bits", Doc: "confidence counter width"})
+}

@@ -1,0 +1,9 @@
+package sim
+
+func init() {
+	RegisterScheme(SchemeSpec{Name: "conventional", Doc: "baseline"})
+	RegisterScheme(SchemeSpec{Name: "predpred", Doc: "derived", Base: "conventional"})
+	RegisterScheme(SchemeSpec{Name: "broken", Doc: "typo in base", Base: "conventionl"}) // want `"conventionl" is not a registered scheme`
+	RegisterWorkload(WorkloadSpec{Name: "all", Doc: "everything"})
+	_ = RegisterKnob("pvt.entries", "predicate value table size")
+}

@@ -1,0 +1,44 @@
+// Package sim mocks the façade's registry surface: the same type and
+// function names regname keys on in the real module.
+package sim
+
+// SchemeSpec mirrors the real registration record.
+type SchemeSpec struct {
+	Name string
+	Doc  string
+	Base string
+}
+
+// WorkloadSpec mirrors the workload registration record.
+type WorkloadSpec struct {
+	Name string
+	Doc  string
+}
+
+// RegisterScheme registers a scheme.
+func RegisterScheme(s SchemeSpec) {}
+
+// RegisterWorkload registers a workload.
+func RegisterWorkload(w WorkloadSpec) {}
+
+// ResolveScheme looks up a scheme by name.
+func ResolveScheme(name string) (SchemeSpec, bool) { return SchemeSpec{}, false }
+
+// ResolveWorkload looks up a workload by name.
+func ResolveWorkload(name string) (WorkloadSpec, bool) { return WorkloadSpec{}, false }
+
+// WithSchemes selects schemes by name.
+func WithSchemes(names ...string) {}
+
+// WithSuite selects suite entries (workloads, benchmarks or spec
+// files).
+func WithSuite(names ...string) {}
+
+// SuiteSpecs expands suite entries.
+func SuiteSpecs(entries ...string) error { return nil }
+
+// WithAxis selects a sweep knob by name.
+func WithAxis(name string, values ...any) {}
+
+// RegisterKnob registers a sweep knob.
+func RegisterKnob(name, doc string) error { return nil }

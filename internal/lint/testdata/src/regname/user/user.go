@@ -1,0 +1,33 @@
+// Package user exercises the lookup sites against the mock
+// registries.
+package user
+
+import (
+	"bench"
+	"config"
+	"sim"
+)
+
+func lookups() {
+	sim.ResolveScheme("conventional")
+	sim.ResolveScheme("conventionial") // want `"conventionial" is not a registered scheme`
+	sim.WithSchemes("conventional", "predpred")
+	sim.WithSchemes("peppa2") // want `"peppa2" is not a registered scheme`
+	sim.ResolveWorkload("all")
+	sim.ResolveWorkload("int12") // want `"int12" is not a registered workload`
+	sim.WithAxis("pvt.entries", 256, 1024)
+	sim.WithAxis("conf.bits", 2)
+	sim.WithAxis("pvt.entires", 256) // want `"pvt.entires" is not a registered knob`
+	config.Set(nil, "conf.bits", "3")
+	config.Set(nil, "conf.bit", "3") // want `"conf.bit" is not a registered knob`
+	bench.Find("gzip")
+	bench.Find("gzp") // want `"gzp" is not a registered benchmark`
+	sim.WithSuite("all", "gzip", "specs/custom.json")
+	sim.WithSuite("nope") // want `"nope" is not a registered workload or benchmark`
+	_ = sim.SuiteSpecs("twolf", "swim")
+
+	// Names flowing through variables are out of scope: runtime checks
+	// own those.
+	name := "whatever"
+	sim.ResolveScheme(name)
+}

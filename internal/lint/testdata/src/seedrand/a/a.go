@@ -1,0 +1,21 @@
+// Package a exercises the seedrand analyzer: global vs seeded
+// math/rand use.
+package a
+
+import "math/rand"
+
+// globalDraws hit the process-wide source.
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)    // want `rand.Intn draws from the process-global source`
+	f := rand.Float64()   // want `rand.Float64 draws from the process-global source`
+	rand.Shuffle(n, swap) // want `rand.Shuffle draws from the process-global source`
+	return n, f
+}
+
+func swap(i, j int) {}
+
+// seededDraws own their source: the blessed shape.
+func seededDraws(seed int64) (int, float64) {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10), r.Float64()
+}

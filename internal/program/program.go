@@ -110,7 +110,7 @@ func (p *Program) Validate() error {
 func (p *Program) Disassemble() string {
 	labelAt := make(map[int][]string)
 	for l, idx := range p.Labels {
-		labelAt[idx] = append(labelAt[idx], l)
+		labelAt[idx] = append(labelAt[idx], l) //simlint:ignore detorder each bucket is sorted immediately below, washing out collection order
 	}
 	for _, ls := range labelAt {
 		sort.Strings(ls)

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"repro/internal/ifconvert"
+	"repro/internal/program"
+)
+
+// This file is the façade over assembly and profile-guided
+// if-conversion, so drivers and examples can build, profile and
+// transform binaries without importing the internal engine packages
+// (the layering check enforces exactly that).
+
+// BranchProfile is the profile of one static conditional branch.
+type BranchProfile = ifconvert.BranchProfile
+
+// Profile maps static branch instruction index to its profile.
+type Profile = ifconvert.Profile
+
+// IfConvertOptions controls if-conversion region selection.
+type IfConvertOptions = ifconvert.Options
+
+// IfConvertResult describes what a conversion did: the transformed
+// program, the converted regions, and the branch counts the paper's
+// Figure 1 discussion cares about.
+type IfConvertResult = ifconvert.Result
+
+// Assemble parses assembly text (as produced by Program.Disassemble
+// or written by hand) into a Program.
+func Assemble(name, text string) (*Program, error) {
+	return program.Assemble(name, text)
+}
+
+// ProfileProgram runs the program functionally for up to maxSteps
+// instructions under the bimodal reference predictor and returns
+// per-branch execution and misprediction counts — the profile feedback
+// the if-converter's region selection consumes.
+func ProfileProgram(p *Program, maxSteps uint64) Profile {
+	return ifconvert.ProfileProgram(p, maxSteps)
+}
+
+// DefaultIfConvertOptions selects hammocks up to 12 instructions per
+// block whose profiled misprediction rate is at least 5%.
+func DefaultIfConvertOptions(prof Profile) IfConvertOptions {
+	return ifconvert.DefaultOptions(prof)
+}
+
+// IfConvert applies if-conversion under opts and returns the
+// transformed program; the input program is not modified.
+func IfConvert(p *Program, opts IfConvertOptions) (*IfConvertResult, error) {
+	return ifconvert.Convert(p, opts)
+}
