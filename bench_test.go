@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -28,6 +30,18 @@ const benchCommits = 60000
 // `go test -bench=. -args -simmode=trace` regenerates every figure from
 // record-once traces instead of the cycle model.
 var simMode = flag.String("simmode", "pipeline", "figure benchmark execution mode: pipeline | trace")
+
+// observed attaches a metrics observer to every BenchmarkTraceVsPipeline
+// run, so the written document measures the instrumented replay path.
+// CI compares it against the committed (uninstrumented) baseline to
+// report instrumentation overhead; the observer's metrics snapshot and
+// run manifests land next to -benchout.
+var observed = flag.Bool("observed", false, "instrument BenchmarkTraceVsPipeline runs with a sim.Observer; writes metrics + manifests next to -benchout")
+
+// benchout is where BenchmarkTraceVsPipeline writes its comparison
+// document. The default is the committed baseline path; observed runs
+// pass a scratch path so they never clobber the baseline.
+var benchout = flag.String("benchout", "BENCH_trace.json", "output path for the trace-vs-pipeline benchmark JSON")
 
 func benchMode(b *testing.B) sim.Mode {
 	b.Helper()
@@ -257,6 +271,10 @@ func BenchmarkTraceVsPipeline(b *testing.B) {
 	const runCommits = 50000
 	schemes := []string{"conventional", "predpred", "peppa"}
 	dir := b.TempDir()
+	var obsv *sim.Observer
+	if *observed {
+		obsv = sim.NewObserver()
+	}
 	ips := map[string]map[string]float64{"pipeline": {}, "trace": {}, "trace-singlepass": {}}
 	for _, mode := range []sim.Mode{sim.ModePipeline, sim.ModeTrace} {
 		mode := mode
@@ -265,7 +283,7 @@ func BenchmarkTraceVsPipeline(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", mode, s), func(b *testing.B) {
 				run := sim.ProgramRun{
 					Program: prog, Scheme: s, Commits: runCommits,
-					Mode: mode, TraceDir: dir,
+					Mode: mode, TraceDir: dir, Observer: obsv,
 				}
 				if mode == sim.ModeTrace {
 					// Warm the trace cache: recording happens once per
@@ -298,6 +316,7 @@ func BenchmarkTraceVsPipeline(b *testing.B) {
 	b.Run("trace/all-singlepass", func(b *testing.B) {
 		run := sim.ProgramRun{
 			Program: prog, Commits: runCommits, Mode: sim.ModeTrace, TraceDir: dir,
+			Observer: obsv,
 		}
 		if _, err := sim.SimulateProgramSchemes(context.Background(), run, schemes...); err != nil {
 			b.Fatal(err)
@@ -320,6 +339,24 @@ func BenchmarkTraceVsPipeline(b *testing.B) {
 		ips["trace-singlepass"]["all"] = v
 	})
 	writeTraceBenchJSON(b, schemes, ips)
+	writeObservedOutputs(b, obsv)
+}
+
+// writeObservedOutputs flushes the observer's metrics snapshot and run
+// manifests next to -benchout, so CI can archive the instrumented
+// run's telemetry as an artifact.
+func writeObservedOutputs(b *testing.B, obsv *sim.Observer) {
+	b.Helper()
+	if obsv == nil {
+		return
+	}
+	stem := strings.TrimSuffix(*benchout, ".json")
+	if err := obsv.WriteMetricsFile(stem + ".metrics.json"); err != nil {
+		b.Fatal(err)
+	}
+	if err := obsv.WriteManifestsFile(stem + ".manifests.ndjson"); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // aggregateIPS folds per-scheme instrs/s into the aggregate throughput
@@ -378,7 +415,12 @@ func writeTraceBenchJSON(b *testing.B, schemes []string, ips map[string]map[stri
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_trace.json", append(raw, '\n'), 0o644); err != nil {
+	if dir := filepath.Dir(*benchout); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(*benchout, append(raw, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -55,7 +55,8 @@ type driver struct {
 	commits  uint64
 	mode     sim.Mode
 	verbose  bool
-	sink     sim.Sink // non-nil in machine-readable mode
+	sink     sim.Sink      // non-nil in machine-readable mode
+	obsv     *sim.Observer // non-nil when -metrics/-manifest requested
 }
 
 // run executes one tagged benchmark × scheme matrix and returns the
@@ -70,6 +71,9 @@ func (d *driver) run(tag string, schemes []string, ifConverted bool, mutate func
 		sim.WithCommits(d.commits),
 		sim.WithConfigMutator(mutate),
 		sim.WithMode(d.mode),
+	}
+	if d.obsv != nil {
+		opts = append(opts, sim.WithObserver(d.obsv))
 	}
 	if d.verbose {
 		opts = append(opts, sim.WithProgress(func(p sim.Progress) {
@@ -126,6 +130,10 @@ func main() {
 		format    = flag.String("format", "text", "output format: text | json | csv")
 		mode      = flag.String("mode", "pipeline", "execution mode: pipeline (cycle model) or trace (record-once trace replay; accuracy figures only, ~10-100x faster)")
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot (spans, counters) to this JSON file at exit")
+		manifest  = flag.String("manifest", "", "write one NDJSON run manifest per run to this file at exit")
 	)
 	flag.Parse()
 	if *all {
@@ -142,14 +150,28 @@ func main() {
 		fatal(err)
 	}
 	d.mode = m
+	if *metrics != "" || *manifest != "" {
+		d.obsv = sim.NewObserver()
+	}
 	switch *format {
 	case "text":
 	case "json":
-		d.sink = sim.NewJSONSink(os.Stdout)
+		d.sink = sim.ObservedSink(d.obsv, sim.NewJSONSink(os.Stdout))
 	case "csv":
-		d.sink = sim.NewCSVSink(os.Stdout)
+		d.sink = sim.ObservedSink(d.obsv, sim.NewCSVSink(os.Stdout))
 	default:
 		fatal(fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
+	}
+	if *cpuprof != "" {
+		stopProf, err := sim.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	if *table1 {
@@ -158,6 +180,7 @@ func main() {
 
 	needSim := *fig5 || *fig5ideal || *fig6a || *fig6b || *fig6ideal || *ablate
 	if !needSim {
+		writeObservations(d.obsv, *metrics, *manifest, *memprof)
 		return
 	}
 
@@ -236,6 +259,27 @@ func main() {
 
 	if d.sink != nil {
 		if err := d.sink.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	writeObservations(d.obsv, *metrics, *manifest, *memprof)
+}
+
+// writeObservations flushes the -metrics / -manifest / -memprofile
+// outputs at the end of a run.
+func writeObservations(o *sim.Observer, metrics, manifest, memprof string) {
+	if metrics != "" {
+		if err := o.WriteMetricsFile(metrics); err != nil {
+			fatal(err)
+		}
+	}
+	if manifest != "" {
+		if err := o.WriteManifestsFile(manifest); err != nil {
+			fatal(err)
+		}
+	}
+	if memprof != "" {
+		if err := sim.WriteHeapProfile(memprof); err != nil {
 			fatal(err)
 		}
 	}

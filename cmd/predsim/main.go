@@ -41,6 +41,10 @@ func main() {
 		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
 		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
 		mode      = flag.String("mode", "pipeline", "execution mode: pipeline (cycle model) or trace (record-once trace replay, accuracy stats only)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot (spans, counters) to this JSON file at exit")
+		manifest  = flag.String("manifest", "", "write an NDJSON run manifest to this file at exit")
 	)
 	flag.Parse()
 
@@ -117,13 +121,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var obsv *sim.Observer
+	if *metrics != "" || *manifest != "" {
+		obsv = sim.NewObserver()
+	}
+	if *cpuprof != "" {
+		stopProf, err := sim.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "predsim:", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := sim.SimulateProgram(ctx, sim.ProgramRun{
-		Program: prog,
-		Scheme:  *scheme,
-		Commits: *commits,
-		Mode:    m,
+		Program:  prog,
+		Scheme:   *scheme,
+		Commits:  *commits,
+		Mode:     m,
+		Observer: obsv,
 		Mutate: func(c *sim.Config) {
 			if *ideal {
 				c.IdealNoAlias, c.IdealPerfectGHR = true, true
@@ -137,6 +158,22 @@ func main() {
 		fatal(err)
 	}
 	report(prog, res)
+
+	if *metrics != "" {
+		if err := obsv.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+	}
+	if *manifest != "" {
+		if err := obsv.WriteManifestsFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprof != "" {
+		if err := sim.WriteHeapProfile(*memprof); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func report(p *sim.Program, res sim.ProgramResult) {

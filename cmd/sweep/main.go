@@ -32,9 +32,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/sim"
 )
@@ -54,8 +56,12 @@ func main() {
 		format    = flag.String("format", "csv", "output format: csv | json (long format, one row per run)")
 		par       = flag.Int("p", 0, "point worker parallelism (0 = GOMAXPROCS)")
 		summary   = flag.Bool("summary", true, "print best point and per-axis marginals to stderr")
-		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		verbose   = flag.Bool("v", false, "print a throttled progress heartbeat (point, elapsed, ETA) to stderr")
 		knobs     = flag.Bool("knobs", false, "list the registered sweep knobs and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot (spans, counters) to this JSON file at exit")
+		manifest  = flag.String("manifest", "", "write one NDJSON run manifest per cell to this file at exit")
 	)
 	flag.Parse()
 
@@ -90,9 +96,12 @@ func main() {
 		sim.WithParallelism(*par),
 	}
 	if *verbose {
-		opts = append(opts, sim.WithProgress(func(p sim.Progress) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s\n", p.Done, p.Total, p.Bench, p.Scheme)
-		}))
+		opts = append(opts, sim.WithProgress(heartbeat(os.Stderr)))
+	}
+	var obsv *sim.Observer
+	if *metrics != "" || *manifest != "" {
+		obsv = sim.NewObserver()
+		opts = append(opts, sim.WithObserver(obsv))
 	}
 	exp, err := sim.New(opts...)
 	if err != nil {
@@ -118,6 +127,19 @@ func main() {
 		sink = sim.NewSweepJSONSink(os.Stdout)
 	default:
 		fatal(fmt.Errorf("unknown format %q (want csv or json)", *format))
+	}
+	sink = sim.ObservedSweepSink(obsv, sink)
+
+	if *cpuprof != "" {
+		stopProf, err := sim.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -146,6 +168,44 @@ func main() {
 
 	if *summary {
 		printSummary(sw, split(*schemes), results)
+	}
+
+	if *metrics != "" {
+		if err := obsv.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+	}
+	if *manifest != "" {
+		if err := obsv.WriteManifestsFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprof != "" {
+		if err := sim.WriteHeapProfile(*memprof); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// heartbeat returns a progress callback that prints a throttled
+// one-line status — cell count, sweep point, elapsed and ETA — at most
+// every quarter second, plus the final cell. Progress callbacks are
+// serialized by the runner, so the closure needs no lock.
+func heartbeat(w io.Writer) func(sim.Progress) {
+	var last time.Time
+	return func(p sim.Progress) {
+		now := time.Now()
+		if p.Done < p.Total && now.Sub(last) < 250*time.Millisecond {
+			return
+		}
+		last = now
+		where := fmt.Sprintf("%s/%s", p.Bench, p.Scheme)
+		if p.Point >= 0 {
+			where = fmt.Sprintf("point %d %s", p.Point, where)
+		}
+		fmt.Fprintf(w, "[%d/%d] %s elapsed %s eta %s\n",
+			p.Done, p.Total, where,
+			p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
 	}
 }
 

@@ -30,6 +30,7 @@ const (
 	nsWorkload = "workload"
 	nsKnob     = "knob"
 	nsBench    = "benchmark"
+	nsMetric   = "metric"
 )
 
 func runRegname(pass *Pass) {
@@ -38,6 +39,7 @@ func runRegname(pass *Pass) {
 		nsWorkload: {},
 		nsKnob:     {},
 		nsBench:    {},
+		nsMetric:   {},
 	}
 	for _, p := range pass.All {
 		collectRegistrations(p, reg)
@@ -73,9 +75,23 @@ func collectRegistrations(p *Package, reg map[string]map[string]bool) {
 					reg[ns][name] = true
 				}
 			case *ast.CallExpr:
-				if fn := calleeFunc(p, v); fn != nil && fn.Name() == "RegisterKnob" && len(v.Args) > 0 {
+				fn := calleeFunc(p, v)
+				if fn == nil || len(v.Args) == 0 {
+					return true
+				}
+				switch fn.Name() {
+				case "RegisterKnob":
 					if s, ok := stringLit(v.Args[0]); ok {
 						reg[nsKnob][s] = true
+					}
+				case "Counter", "Gauge", "Histogram":
+					// obs.(*Registry).Counter and friends are
+					// get-or-create: every literal-named call is a
+					// registration the Snapshot lookups resolve against.
+					if fnPackage(fn) == "obs" {
+						if s, ok := stringLit(v.Args[0]); ok {
+							reg[nsMetric][s] = true
+						}
 					}
 				}
 			case *ast.FuncDecl:
@@ -167,6 +183,13 @@ func checkLookupCall(pass *Pass, p *Package, call *ast.CallExpr, reg map[string]
 		if pkgName == "bench" {
 			checkArg(0, nsBench)
 		}
+	case "CounterValue", "GaugeValue", "HistogramValue":
+		// Snapshot lookups miss silently (zero value, ok=false) on a
+		// typo; resolve them against the Counter/Gauge/Histogram
+		// registrations instead.
+		if pkgName == "obs" {
+			checkArg(0, nsMetric)
+		}
 	case "WithSuite", "SuiteSpecs":
 		// Entries resolve against workloads first, then benchmarks;
 		// path-like entries are workload spec files on disk.
@@ -199,7 +222,7 @@ func reportUnknown(pass *Pass, p *Package, pos token.Pos, ns, name string, reg m
 func knownNames(ns string, reg map[string]map[string]bool) string {
 	var sets []map[string]bool
 	switch ns {
-	case nsScheme, nsWorkload, nsKnob, nsBench:
+	case nsScheme, nsWorkload, nsKnob, nsBench, nsMetric:
 		sets = append(sets, reg[ns])
 	default:
 		sets = append(sets, reg[nsWorkload], reg[nsBench])
@@ -283,6 +306,15 @@ func stringLit(e ast.Expr) (string, bool) {
 		return "", false
 	}
 	return s, true
+}
+
+// fnPackage returns the name of the package a function belongs to
+// ("" for builtins).
+func fnPackage(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
 }
 
 // calleeFunc resolves a call's callee to its function object

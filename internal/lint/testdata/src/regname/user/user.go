@@ -5,6 +5,7 @@ package user
 import (
 	"bench"
 	"config"
+	"obs"
 	"sim"
 )
 
@@ -30,4 +31,25 @@ func lookups() {
 	// own those.
 	name := "whatever"
 	sim.ResolveScheme(name)
+}
+
+// metricSites exercises the metric name-space: Counter/Gauge/Histogram
+// calls register, snapshot Value lookups must resolve.
+func metricSites() {
+	r := obs.Default()
+	r.Counter("runs.completed")
+	r.Gauge("queue.depth")
+	r.Histogram("span.engine.ns")
+
+	var s obs.Snapshot
+	s.CounterValue("runs.completed")
+	s.CounterValue("runs.compelted") // want `"runs.compelted" is not a registered metric`
+	s.GaugeValue("queue.depth")
+	s.GaugeValue("queue.dpeth") // want `"queue.dpeth" is not a registered metric`
+	s.HistogramValue("span.engine.ns")
+	s.HistogramValue("span.engin.ns") // want `"span.engin.ns" is not a registered metric`
+
+	// Computed names are out of scope, same as the other registries.
+	name := "span." + "decode" + ".ns"
+	s.HistogramValue(name)
 }

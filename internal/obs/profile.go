@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// createProfileFile creates path's parent directory (profiles land
+// next to metrics in per-run telemetry directories) and then the file.
+func createProfileFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
+// StartCPUProfile begins a CPU profile writing to path and returns a
+// stop function that ends the profile and closes the file. Call the
+// stop function exactly once, after the workload of interest.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := createProfileFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an up-to-date heap profile to path. It runs
+// a GC first so the profile reflects live objects, matching the
+// behaviour of net/http/pprof's heap endpoint.
+func WriteHeapProfile(path string) error {
+	f, err := createProfileFile(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

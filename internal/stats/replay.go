@@ -292,6 +292,15 @@ type scratch struct {
 }
 
 func (s *scratch) replayAll(ctx context.Context, cfgs []config.Config, tr *trace.Trace, commits uint64) ([]pipeline.Stats, error) {
+	return s.replay(ctx, cfgs, tr, commits, nil, nil)
+}
+
+// replay is the shared body behind replayAll and replayAllTimed. With
+// tm/now nil the timed branches are dead and replay is exactly the old
+// untimed loop; with both set, phase durations accumulate into tm once
+// per batch (the clock reads sit between phases, so the statistics are
+// bit-identical either way).
+func (s *scratch) replay(ctx context.Context, cfgs []config.Config, tr *trace.Trace, commits uint64, tm *Timings, now func() int64) ([]pipeline.Stats, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("stats: replay needs at least one configuration")
 	}
@@ -307,7 +316,7 @@ func (s *scratch) replayAll(ctx context.Context, cfgs []config.Config, tr *trace
 		s.evs = make([]trace.Event, batchEvents)
 		s.notes = make([]note, batchEvents)
 	}
-	err := s.run(ctx, engines, tr, commits)
+	err := s.run(ctx, engines, tr, commits, tm, now)
 	sts := make([]pipeline.Stats, len(engines))
 	for i, e := range engines {
 		sts[i] = e.st
@@ -318,10 +327,11 @@ func (s *scratch) replayAll(ctx context.Context, cfgs []config.Config, tr *trace
 // run drives the shared cursor: decode a batch, annotate it through the
 // frontend (budget- and marker-aware, exactly as the per-scheme engine
 // looped), then fan the admitted events to every engine.
-func (s *scratch) run(ctx context.Context, engines []*schemeEngine, tr *trace.Trace, commits uint64) error {
+func (s *scratch) run(ctx context.Context, engines []*schemeEngine, tr *trace.Trace, commits uint64, tm *Timings, now func() int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	timed := tm != nil && now != nil
 	var fe frontend
 	fe.predVal[isa.P0] = true
 	fe.prevVal[isa.P0] = true
@@ -329,10 +339,19 @@ func (s *scratch) run(ctx context.Context, engines []*schemeEngine, tr *trace.Tr
 	var committed uint64
 	halted := false
 	done := false
+	var t0 int64
 	for !done {
+		if timed {
+			t0 = now()
+		}
 		nDec := cur.NextBatch(s.evs)
 		if nDec == 0 {
 			break
+		}
+		if timed {
+			t1 := now()
+			tm.DecodeNS += t1 - t0
+			t0 = t1
 		}
 		// Admit events up to the commit budget, compacting markers (and
 		// the halt record, which no engine acts on) out of the batch.
@@ -364,8 +383,19 @@ func (s *scratch) run(ctx context.Context, engines []*schemeEngine, tr *trace.Tr
 				break
 			}
 		}
-		for _, e := range engines {
+		if timed {
+			t1 := now()
+			tm.FrontendNS += t1 - t0
+			t0 = t1
+			tm.Batches++
+		}
+		for k, e := range engines {
 			e.applyBatch(s.evs[:n], s.notes[:n])
+			if timed {
+				t1 := now()
+				tm.EngineNS[k] += t1 - t0
+				t0 = t1
+			}
 		}
 		// A replay that just reached its budget or halt is complete: a
 		// cancel racing completion must not turn its full statistics

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestReplayAllTimedMatchesUntimed extends the equality oracle to the
+// timed path: the clock reads sit between phases, so the statistics
+// must be bit-identical to the untimed replay, and the breakdown must
+// account every phase of every batch.
+func TestReplayAllTimedMatchesUntimed(t *testing.T) {
+	spec, err := bench.Find("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := schemeCfgs()
+	const commits = 40000
+
+	plain, err := ReplayAll(context.Background(), cfgs, tr, commits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fake clock advancing a fixed step per read makes every phase
+	// duration a deterministic function of the read sequence.
+	var clock int64
+	now := func() int64 {
+		clock += 10
+		return clock
+	}
+	timed, tm, err := ReplayAllTimed(context.Background(), cfgs, tr, commits, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, timed) {
+		t.Errorf("timed replay stats diverge from untimed:\n timed: %+v\n plain: %+v", timed, plain)
+	}
+	if tm.Batches == 0 {
+		t.Fatal("timed replay recorded no batches")
+	}
+	// Each phase is bounded by one 10-unit clock step per batch.
+	if want := tm.Batches * 10; tm.DecodeNS != want {
+		t.Errorf("DecodeNS = %d, want %d (one fake-clock step per batch)", tm.DecodeNS, want)
+	}
+	if want := tm.Batches * 10; tm.FrontendNS != want {
+		t.Errorf("FrontendNS = %d, want %d", tm.FrontendNS, want)
+	}
+	if len(tm.EngineNS) != len(cfgs) {
+		t.Fatalf("EngineNS has %d entries for %d configs", len(tm.EngineNS), len(cfgs))
+	}
+	for k, ns := range tm.EngineNS {
+		if want := tm.Batches * 10; ns != want {
+			t.Errorf("EngineNS[%d] = %d, want %d", k, ns, want)
+		}
+	}
+}
+
+// TestSessionReplayAllTimed pins the Session surface and that two timed
+// runs under identical fake clocks produce identical breakdowns.
+func TestSessionReplayAllTimed(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []config.Config{config.Default().WithScheme(config.SchemePredicate)}
+	sess := NewSession(tr)
+	run := func() *Timings {
+		var clock int64
+		now := func() int64 {
+			clock += 7
+			return clock
+		}
+		_, tm, err := sess.ReplayAllTimed(context.Background(), cfgs, 20000, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identically-clocked timed replays differ:\n a: %+v\n b: %+v", a, b)
+	}
+}

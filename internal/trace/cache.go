@@ -7,19 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
 )
-
-// cacheHits counts Load calls that decoded a cached trace,
-// process-wide (callers may still reject one that does not cover
-// their budget). Paired with Recordings it proves record-once
-// behaviour: a repeated sweep or experiment should re-record nothing,
-// only hit.
-var cacheHits atomic.Uint64
-
-// CacheHits returns the number of traces served from the disk cache in
-// this process.
-func CacheHits() uint64 { return cacheHits.Load() }
 
 // EnvDir is the environment variable overriding the default on-disk
 // trace cache directory.
@@ -55,17 +43,22 @@ func cachePath(dir, key string) string {
 
 // Load reads a cached trace. A missing or unreadable/corrupt file is a
 // cache miss (nil, nil): the cache is advisory, never load-bearing.
+// Hits and misses count on the trace.cache.hits / trace.cache.misses
+// counters (misses paired with hits prove record-once behaviour: a
+// repeated sweep or experiment should re-record nothing, only hit).
 func Load(dir, key string) (*Trace, error) {
 	f, err := os.Open(cachePath(dir, key))
 	if err != nil {
+		cacheMisses.Inc()
 		return nil, nil
 	}
 	defer f.Close()
 	t, err := Decode(f)
 	if err != nil {
+		cacheMisses.Inc()
 		return nil, nil
 	}
-	cacheHits.Add(1)
+	cacheHits.Inc()
 	return t, nil
 }
 
@@ -93,5 +86,6 @@ func Store(dir, key string, t *Trace) error {
 	if err := os.Rename(tmp.Name(), cachePath(dir, key)); err != nil {
 		return fmt.Errorf("trace: cache rename: %w", err)
 	}
+	cacheStores.Inc()
 	return nil
 }

@@ -3,7 +3,6 @@ package trace
 import (
 	"bytes"
 	"context"
-	"sync/atomic"
 
 	"repro/internal/emulator"
 	"repro/internal/isa"
@@ -14,15 +13,6 @@ import (
 // recording, so cancellation lands within a fraction of a millisecond
 // without the check appearing in profiles.
 const recordChunk = 65536
-
-// recordings counts completed Record calls process-wide; tests and the
-// cache-hit acceptance check observe it to prove a second run did not
-// re-emulate.
-var recordings atomic.Uint64
-
-// Recordings returns the number of completed Record calls in this
-// process.
-func Recordings() uint64 { return recordings.Load() }
 
 // Options configures one recording.
 type Options struct {
@@ -198,6 +188,6 @@ func Record(ctx context.Context, p *program.Program, opt Options) (*Trace, error
 		Regions:      append([]Region(nil), opt.Regions...),
 		Events:       rec.buf.Bytes(),
 	}
-	recordings.Add(1)
+	recordings.Inc()
 	return t, nil
 }

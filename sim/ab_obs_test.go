@@ -1,0 +1,50 @@
+package sim_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/sim"
+)
+
+// TestObserverOverheadAB interleaves observed and unobserved
+// single-pass multi-scheme replays in one process and reports median
+// wall times; informational.
+func TestObserverOverheadAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement, not a correctness test")
+	}
+	prog, err := sim.BuildBenchmark("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	schemes := []string{"conventional", "predpred", "peppa"}
+	run := sim.ProgramRun{Program: prog, Commits: 50000, Mode: sim.ModeTrace, TraceDir: dir}
+	if _, err := sim.SimulateProgramSchemes(context.Background(), run, schemes...); err != nil {
+		t.Fatal(err)
+	}
+	obsv := sim.NewObserver()
+	orun := run
+	orun.Observer = obsv
+	const reps = 30
+	var base, obs []float64
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if _, err := sim.SimulateProgramSchemes(context.Background(), run, schemes...); err != nil {
+			t.Fatal(err)
+		}
+		base = append(base, time.Since(t0).Seconds())
+		t0 = time.Now()
+		if _, err := sim.SimulateProgramSchemes(context.Background(), orun, schemes...); err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, time.Since(t0).Seconds())
+	}
+	sort.Float64s(base)
+	sort.Float64s(obs)
+	mb, mo := base[reps/2], obs[reps/2]
+	t.Logf("median unobserved %.4fms  observed %.4fms  overhead %+.2f%%", mb*1e3, mo*1e3, 100*(mo/mb-1))
+}

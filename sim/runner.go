@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/pipeline"
@@ -61,9 +62,24 @@ func (m MemStats) L2MissRate() float64 { return rate(m.L2Misses, m.L2Accesses) }
 type Progress struct {
 	Done   int // runs completed so far, including this one
 	Total  int // runs in the experiment matrix
+	Point  int // sweep point index of this run; -1 outside sweeps
 	Bench  string
 	Scheme string
-	Err    error
+	// Elapsed is the time since Start on the runner's clock (the
+	// observer's clock when one is attached); ETA linearly extrapolates
+	// the remaining runs from the completed ones, and is 0 on the last
+	// run.
+	Elapsed time.Duration
+	ETA     time.Duration
+	Err     error
+}
+
+// eta extrapolates time remaining from runs completed so far.
+func eta(elapsed time.Duration, done, total int) time.Duration {
+	if done <= 0 || done >= total {
+		return 0
+	}
+	return elapsed / time.Duration(done) * time.Duration(total-done)
 }
 
 // Runner is a started experiment: a bounded worker pool streaming
@@ -72,6 +88,8 @@ type Runner struct {
 	results chan Result
 	done    chan struct{}
 	total   int
+	obsv    *Observer // nil when the experiment is unobserved
+	startNS int64     // Start time on the observer's (or process) clock
 
 	mu  sync.Mutex
 	err error
@@ -157,21 +175,25 @@ func (e *Experiment) buildJobs(wl *Workload) ([]simJob, int) {
 func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 	wl := e.workload
 	if wl == nil {
+		t0 := e.observer.now()
 		var err error
 		wl, err = prepareSpecs(ctx, e.suiteSpecs, e.profileSteps)
 		if err != nil {
 			return nil, err
 		}
+		e.observer.span(PhasePrepare, e.observer.now()-t0)
 	}
 	var traces *traceProvider
 	if e.mode&ModeTrace != 0 {
-		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits)
+		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits, e.observer)
 	}
 	jobs, total := e.buildJobs(wl)
 	r := &Runner{
 		results: make(chan Result, total),
 		done:    make(chan struct{}),
 		total:   total,
+		obsv:    e.observer,
+		startNS: e.observer.now(),
 	}
 	k := e.parallelism
 	if k <= 0 {
@@ -204,7 +226,7 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				rs, ok := e.runJob(ctx, traces, sessions, j)
+				rs, ok := e.runJob(ctx, traces, sessions, j, noMeta)
 				if !ok { // cancelled mid-run: partial stats, drop them
 					return
 				}
@@ -242,7 +264,13 @@ func (r *Runner) report(f func(Progress), res Result) {
 	defer r.progressMu.Unlock()
 	r.finished++
 	if f != nil {
-		f(Progress{Done: r.finished, Total: r.total, Bench: res.Bench, Scheme: res.Scheme, Err: res.Err})
+		elapsed := durationNS(r.obsv.now() - r.startNS)
+		f(Progress{
+			Done: r.finished, Total: r.total, Point: -1,
+			Bench: res.Bench, Scheme: res.Scheme,
+			Elapsed: elapsed, ETA: eta(elapsed, r.finished, r.total),
+			Err: res.Err,
+		})
 	}
 }
 
@@ -272,20 +300,57 @@ func (e *Experiment) baseConfig(scheme string) (Config, error) {
 	return cfg, nil
 }
 
+// cellManifest builds cell i's run manifest from its finished result:
+// the identity half plus committed count and error; the caller fills
+// in the timing half.
+func (e *Experiment) cellManifest(j simJob, i int, meta manifestMeta, res Result) RunManifest {
+	m := RunManifest{
+		Seq:         j.seq + i,
+		Point:       meta.point,
+		Tag:         e.tag,
+		Bench:       j.bench,
+		Class:       j.class,
+		Scheme:      j.schemes[i],
+		Mode:        modeName(j.mode),
+		IfConverted: e.ifConverted,
+		SpecHash:    fmt.Sprintf("%016x", j.pg.Spec.Hash()),
+		Seed:        meta.seed,
+		Knobs:       meta.knobs,
+		Committed:   res.Stats.Committed,
+	}
+	if res.Err != nil {
+		m.Err = res.Err.Error()
+	}
+	return m
+}
+
+// instrsPerSec renders a throughput figure from a committed count and
+// its attributed nanoseconds.
+func instrsPerSec(committed uint64, ns int64) float64 {
+	if ns <= 0 || committed == 0 {
+		return 0
+	}
+	return round3(float64(committed) / (float64(ns) / 1e9))
+}
+
 // runJob simulates one matrix job (a pipeline cell, or a coalesced
 // trace-mode cell group). ok is false when the context was cancelled
 // mid-simulation and the partial results must be discarded.
-func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob) ([]Result, bool) {
+func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, meta manifestMeta) ([]Result, bool) {
 	if j.mode == ModeTrace {
-		return e.runTraceJob(ctx, traces, sessions, j, e.baseConfig)
+		return e.runTraceJob(ctx, traces, sessions, j, e.baseConfig, meta)
 	}
 	cfg, err := e.baseConfig(j.schemes[0])
 	if err != nil {
 		res := j.result(e, 0)
 		res.Err = err
+		if o := e.observer; o != nil {
+			o.emit(e.cellManifest(j, 0, meta, res))
+			o.finishRun(err)
+		}
 		return []Result{res}, true
 	}
-	res, ok := e.runCell(ctx, cfg, j, 0)
+	res, ok := e.runCell(ctx, cfg, j, 0, meta)
 	return []Result{res}, ok
 }
 
@@ -297,7 +362,7 @@ func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions
 // validate keeps its error while its siblings still replay; ok is false
 // when the context was cancelled mid-replay and the whole group must be
 // discarded.
-func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, buildCfg func(string) (Config, error)) ([]Result, bool) {
+func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, buildCfg func(string) (Config, error), meta manifestMeta) ([]Result, bool) {
 	out := make([]Result, len(j.schemes))
 	for i := range j.schemes {
 		out[i] = j.result(e, i)
@@ -310,6 +375,7 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 		for i := range out {
 			out[i].Err = err
 		}
+		e.observeTraceGroup(traces, j, meta, out, nil, nil)
 		return out, true
 	}
 	var cfgs []Config
@@ -328,8 +394,15 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 		cfgs = append(cfgs, cfg)
 		live = append(live, i)
 	}
+	var tm *stats.Timings
 	if len(cfgs) > 0 {
-		sts, err := sess.ReplayAll(ctx, cfgs, e.commits)
+		var sts []pipeline.Stats
+		var err error
+		if o := e.observer; o != nil {
+			sts, tm, err = sess.ReplayAllTimed(ctx, cfgs, e.commits, o.clock)
+		} else {
+			sts, err = sess.ReplayAll(ctx, cfgs, e.commits)
+		}
 		if canceled(err) {
 			return nil, false
 		}
@@ -341,14 +414,69 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 			out[i].Stats = sts[k]
 		}
 	}
+	e.observeTraceGroup(traces, j, meta, out, live, tm)
 	return out, true
+}
+
+// observeTraceGroup records one coalesced trace job's telemetry: the
+// group-level decode/frontend spans, a per-cell engine span, and one
+// manifest per cell. The shared decode and frontend costs are
+// attributed evenly across the live cells in each manifest (the group
+// totals are recoverable via GroupSchemes), while engine time is
+// exact per cell. No-op without an observer.
+func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta manifestMeta, out []Result, live []int, tm *stats.Timings) {
+	o := e.observer
+	if o == nil {
+		return
+	}
+	outcome, _, _ := traces.info(j.bench)
+	var group []string
+	if len(live) > 1 {
+		group = make([]string, len(live))
+		for k, i := range live {
+			group[k] = j.schemes[i]
+		}
+	}
+	var decodeShare, frontendShare int64
+	if tm != nil && len(live) > 0 {
+		o.span(PhaseDecode, tm.DecodeNS)
+		o.span(PhaseFrontend, tm.FrontendNS)
+		decodeShare = tm.DecodeNS / int64(len(live))
+		frontendShare = tm.FrontendNS / int64(len(live))
+	}
+	liveIdx := make(map[int]int, len(live)) // out index -> cfgs position
+	for k, i := range live {
+		liveIdx[i] = k
+	}
+	for i := range out {
+		m := e.cellManifest(j, i, meta, out[i])
+		m.Cache = outcome
+		m.GroupSchemes = group
+		if k, ok := liveIdx[i]; ok && tm != nil {
+			engineNS := tm.EngineNS[k]
+			o.span(PhaseEngine, engineNS)
+			m.PhasesNS = map[string]int64{
+				PhaseDecode:   decodeShare,
+				PhaseFrontend: frontendShare,
+				PhaseEngine:   engineNS,
+			}
+			m.InstrsPerSec = instrsPerSec(out[i].Stats.Committed, engineNS+decodeShare+frontendShare)
+		}
+		o.emit(m)
+		o.finishRun(out[i].Err)
+	}
 }
 
 // runCell simulates one pipeline-mode matrix cell under an explicit,
 // fully-built configuration. ok is false when the context was cancelled
 // mid-simulation.
-func (e *Experiment) runCell(ctx context.Context, cfg Config, j simJob, i int) (Result, bool) {
+func (e *Experiment) runCell(ctx context.Context, cfg Config, j simJob, i int, meta manifestMeta) (Result, bool) {
 	res := j.result(e, i)
+	o := e.observer
+	var t0 int64
+	if o != nil {
+		t0 = o.now()
+	}
 	pl, err := stats.SimulateContext(ctx, cfg, j.prog, e.commits)
 	// Drop the result only when the simulation itself was cut short: a
 	// context cancelled after the run completed (err == nil, or a real
@@ -361,6 +489,15 @@ func (e *Experiment) runCell(ctx context.Context, cfg Config, j simJob, i int) (
 		res.Mem = captureMem(pl)
 	}
 	res.Err = err
+	if o != nil {
+		ns := o.now() - t0
+		o.span(PhasePipeline, ns)
+		m := e.cellManifest(j, i, meta, res)
+		m.PhasesNS = map[string]int64{PhasePipeline: ns}
+		m.InstrsPerSec = instrsPerSec(res.Stats.Committed, ns)
+		o.emit(m)
+		o.finishRun(res.Err)
+	}
 	return res, true
 }
 
@@ -409,6 +546,21 @@ type ProgramRun struct {
 	Mutate  func(*Config) // optional configuration adjustment
 	// TraceDir overrides the trace cache directory for ModeTrace.
 	TraceDir string
+	// Observer, when non-nil, collects phase spans and a run manifest
+	// per result, exactly as WithObserver does for experiments.
+	Observer *Observer
+}
+
+// programManifest is the ProgramRun counterpart of cellManifest.
+func (r ProgramRun) manifest(seq int, scheme string, mode Mode, st Stats) RunManifest {
+	return RunManifest{
+		Seq:       seq,
+		Point:     -1,
+		Bench:     r.Program.Name,
+		Scheme:    scheme,
+		Mode:      modeName(mode),
+		Committed: st.Committed,
+	}
 }
 
 // ProgramResult is a single-program outcome, including the committed
@@ -439,8 +591,32 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	}
 	if r.Mode == ModeTrace {
 		out.Mode = ModeTrace
-		tr, err := recordProgramTrace(ctx, r)
+		o := r.Observer
+		tr, outcome, err := recordProgramTrace(ctx, r)
 		if err != nil {
+			return out, err
+		}
+		if o != nil {
+			sts, tm, err := stats.ReplayAllTimed(ctx, []Config{cfg}, tr, r.Commits, o.clock)
+			if len(sts) == 1 {
+				out.Stats = sts[0]
+			}
+			o.span(PhaseDecode, tm.DecodeNS)
+			o.span(PhaseFrontend, tm.FrontendNS)
+			o.span(PhaseEngine, tm.EngineNS[0])
+			m := r.manifest(0, r.Scheme, ModeTrace, out.Stats)
+			m.Cache = outcome
+			m.PhasesNS = map[string]int64{
+				PhaseDecode:   tm.DecodeNS,
+				PhaseFrontend: tm.FrontendNS,
+				PhaseEngine:   tm.EngineNS[0],
+			}
+			m.InstrsPerSec = instrsPerSec(out.Stats.Committed, tm.EngineNS[0]+tm.DecodeNS+tm.FrontendNS)
+			if err != nil {
+				m.Err = err.Error()
+			}
+			o.emit(m)
+			o.finishRun(err)
 			return out, err
 		}
 		st, err := stats.ReplayContext(ctx, cfg, tr, r.Commits)
@@ -451,6 +627,11 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 		return out, fmt.Errorf("sim: program run wants a single mode, got %v", r.Mode)
 	}
 	out.Mode = ModePipeline
+	o := r.Observer
+	var t0 int64
+	if o != nil {
+		t0 = o.now()
+	}
 	pl, err := stats.SimulateContext(ctx, cfg, r.Program, r.Commits)
 	if pl != nil {
 		out.Stats = pl.Stats
@@ -458,6 +639,18 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 		for i := 0; i < isa.NumGPR; i++ {
 			out.GPR[i] = pl.ArchGPR(isa.Reg(i))
 		}
+	}
+	if o != nil {
+		ns := o.now() - t0
+		o.span(PhasePipeline, ns)
+		m := r.manifest(0, r.Scheme, ModePipeline, out.Stats)
+		m.PhasesNS = map[string]int64{PhasePipeline: ns}
+		m.InstrsPerSec = instrsPerSec(out.Stats.Committed, ns)
+		if err != nil {
+			m.Err = err.Error()
+		}
+		o.emit(m)
+		o.finishRun(err)
 	}
 	if err != nil {
 		return out, err
@@ -495,40 +688,79 @@ func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string
 		}
 		cfgs[i] = cfg
 	}
-	tr, err := recordProgramTrace(ctx, r)
+	tr, outcome, err := recordProgramTrace(ctx, r)
 	if err != nil {
 		return nil, err
 	}
-	sts, err := stats.ReplayAll(ctx, cfgs, tr, r.Commits)
+	o := r.Observer
+	var sts []pipeline.Stats
+	var tm *stats.Timings
+	if o != nil {
+		sts, tm, err = stats.ReplayAllTimed(ctx, cfgs, tr, r.Commits, o.clock)
+	} else {
+		sts, err = stats.ReplayAll(ctx, cfgs, tr, r.Commits)
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ProgramResult, len(schemes))
+	var decodeShare, frontendShare int64
+	if tm != nil {
+		o.span(PhaseDecode, tm.DecodeNS)
+		o.span(PhaseFrontend, tm.FrontendNS)
+		decodeShare = tm.DecodeNS / int64(len(schemes))
+		frontendShare = tm.FrontendNS / int64(len(schemes))
+	}
 	for i := range out {
 		out[i].Bench = r.Program.Name
 		out[i].Scheme = schemes[i]
 		out[i].Mode = ModeTrace
 		out[i].Stats = sts[i]
+		if tm != nil {
+			o.span(PhaseEngine, tm.EngineNS[i])
+			m := r.manifest(i, schemes[i], ModeTrace, sts[i])
+			m.Cache = outcome
+			if len(schemes) > 1 {
+				m.GroupSchemes = append([]string(nil), schemes...)
+			}
+			m.PhasesNS = map[string]int64{
+				PhaseDecode:   decodeShare,
+				PhaseFrontend: frontendShare,
+				PhaseEngine:   tm.EngineNS[i],
+			}
+			m.InstrsPerSec = instrsPerSec(sts[i].Committed, tm.EngineNS[i]+decodeShare+frontendShare)
+			o.emit(m)
+			o.finishRun(nil)
+		}
 	}
 	return out, nil
 }
 
 // recordProgramTrace records (or loads from the cache) the trace of an
-// arbitrary program, keyed by the binary's content hash.
-func recordProgramTrace(ctx context.Context, r ProgramRun) (*trace.Trace, error) {
+// arbitrary program, keyed by the binary's content hash. The outcome
+// names the trace's provenance ("hit" or "record") for manifests.
+func recordProgramTrace(ctx context.Context, r ProgramRun) (*trace.Trace, string, error) {
 	dir := r.TraceDir
 	if dir == "" {
 		dir = trace.DefaultDir()
 	}
+	o := r.Observer
 	hash := trace.HashProgram(r.Program)
 	key := trace.Key("program", r.Program.Name, fmt.Sprintf("prog=%016x", hash))
-	if t, _ := trace.Load(dir, key); t != nil && t.ProgHash == hash && t.Covers(r.Commits) {
-		return t, nil
+	t0 := o.now()
+	t, _ := trace.Load(dir, key)
+	o.span(PhaseCacheLookup, o.now()-t0)
+	if t != nil && t.ProgHash == hash && t.Covers(r.Commits) {
+		o.cacheOutcome("hit")
+		return t, "hit", nil
 	}
+	t0 = o.now()
 	t, err := trace.Record(ctx, r.Program, trace.Options{MaxSteps: r.Commits})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	o.span(PhaseRecord, o.now()-t0)
+	o.cacheOutcome("record")
 	_ = trace.Store(dir, key, t)
-	return t, nil
+	return t, "record", nil
 }

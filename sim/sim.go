@@ -139,6 +139,7 @@ type Experiment struct {
 	parallelism  int
 	progress     func(Progress)
 	workload     *Workload
+	observer     *Observer
 }
 
 // Option configures an Experiment under construction.

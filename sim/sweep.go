@@ -313,6 +313,8 @@ type SweepRunner struct {
 	done    chan struct{}
 	points  int
 	cells   int
+	obsv    *Observer // nil when the base experiment is unobserved
+	startNS int64     // Start time on the observer's (or process) clock
 
 	mu  sync.Mutex
 	err error
@@ -344,12 +346,18 @@ func (r *SweepRunner) Wait() error {
 	return r.err
 }
 
-func (r *SweepRunner) reportCell(f func(Progress), res Result) {
+func (r *SweepRunner) reportCell(f func(Progress), point int, res Result) {
 	r.progressMu.Lock()
 	defer r.progressMu.Unlock()
 	r.finished++
 	if f != nil {
-		f(Progress{Done: r.finished, Total: r.cells, Bench: res.Bench, Scheme: res.Scheme, Err: res.Err})
+		elapsed := durationNS(r.obsv.now() - r.startNS)
+		f(Progress{
+			Done: r.finished, Total: r.cells, Point: point,
+			Bench: res.Bench, Scheme: res.Scheme,
+			Elapsed: elapsed, ETA: eta(elapsed, r.finished, r.cells),
+			Err: res.Err,
+		})
 	}
 }
 
@@ -363,15 +371,17 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 	e := s.base
 	wl := e.workload
 	if wl == nil {
+		t0 := e.observer.now()
 		var err error
 		wl, err = prepareSpecs(ctx, e.suiteSpecs, e.profileSteps)
 		if err != nil {
 			return nil, err
 		}
+		e.observer.span(PhasePrepare, e.observer.now()-t0)
 	}
 	var traces *traceProvider
 	if e.mode&ModeTrace != 0 {
-		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits)
+		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits, e.observer)
 	}
 	pts := s.Points()
 	cellsPerPoint := wl.Len() * len(e.mode.modes()) * len(e.schemes)
@@ -380,6 +390,8 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 		done:    make(chan struct{}),
 		points:  len(pts),
 		cells:   len(pts) * cellsPerPoint,
+		obsv:    e.observer,
+		startNS: e.observer.now(),
 	}
 	k := e.parallelism
 	if k <= 0 {
@@ -448,6 +460,10 @@ func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvide
 		}
 		return cfg, s.applyPoint(&cfg, pt)
 	}
+	meta := manifestMeta{point: pt.Index, knobs: pointKnobs(pt)}
+	if s.sample > 0 {
+		meta.seed = s.seed
+	}
 	out := SweepResult{Point: pt}
 	seq := 0
 	for _, pg := range wl.progs {
@@ -462,13 +478,13 @@ func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvide
 					schemes: e.schemes, mode: m, prog: prog, pg: pg,
 				}
 				seq += len(e.schemes)
-				rs, ok := e.runTraceJob(ctx, traces, sessions, j, pointCfg)
+				rs, ok := e.runTraceJob(ctx, traces, sessions, j, pointCfg, meta)
 				if !ok {
 					return out, false
 				}
 				for _, res := range rs {
 					out.Results = append(out.Results, res)
-					r.reportCell(e.progress, res)
+					r.reportCell(e.progress, pt.Index, res)
 				}
 				continue
 			}
@@ -482,19 +498,36 @@ func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvide
 				if cfg, err := pointCfg(scheme); err != nil {
 					res = j.result(e, 0)
 					res.Err = err
+					if o := e.observer; o != nil {
+						o.emit(e.cellManifest(j, 0, meta, res))
+						o.finishRun(err)
+					}
 				} else {
 					var ok bool
-					res, ok = e.runCell(ctx, cfg, j, 0)
+					res, ok = e.runCell(ctx, cfg, j, 0, meta)
 					if !ok {
 						return out, false
 					}
 				}
 				out.Results = append(out.Results, res)
-				r.reportCell(e.progress, res)
+				r.reportCell(e.progress, pt.Index, res)
 			}
 		}
 	}
 	return out, true
+}
+
+// pointKnobs renders a point's axis coordinates as the manifest's
+// knob map.
+func pointKnobs(pt Point) map[string]string {
+	if len(pt.Values) == 0 {
+		return nil
+	}
+	knobs := make(map[string]string, len(pt.Values))
+	for _, av := range pt.Values {
+		knobs[av.Axis] = av.Value
+	}
+	return knobs
 }
 
 // Run starts the sweep, drains the stream, and returns every point in

@@ -163,14 +163,14 @@ func TestSweepRecordsTracesOnce(t *testing.T) {
 		return rs
 	}
 
-	rec0, hit0 := trace.Recordings(), trace.CacheHits()
+	before := trace.SnapshotCounters()
 	rs := sweep()
-	rec1, hit1 := trace.Recordings(), trace.CacheHits()
-	if got := rec1 - rec0; got != 2 {
-		t.Errorf("6-point sweep over 2 benchmarks should record exactly 2 traces, recorded %d", got)
+	delta := trace.SnapshotCounters().Since(before)
+	if delta.Recordings != 2 {
+		t.Errorf("6-point sweep over 2 benchmarks should record exactly 2 traces, recorded %d", delta.Recordings)
 	}
-	if hit1 != hit0 {
-		t.Errorf("first sweep into an empty cache dir should not hit, got %d hits", hit1-hit0)
+	if delta.CacheHits != 0 {
+		t.Errorf("first sweep into an empty cache dir should not hit, got %d hits", delta.CacheHits)
 	}
 
 	if len(rs) != 6 {
@@ -209,13 +209,14 @@ func TestSweepRecordsTracesOnce(t *testing.T) {
 
 	// Second sweep, fresh provider, same disk cache: zero recordings,
 	// one disk hit per benchmark.
+	mid := trace.SnapshotCounters()
 	sweep()
-	rec2, hit2 := trace.Recordings(), trace.CacheHits()
-	if rec2 != rec1 {
-		t.Errorf("second sweep must not re-record, recorded %d more times", rec2-rec1)
+	delta = trace.SnapshotCounters().Since(mid)
+	if delta.Recordings != 0 {
+		t.Errorf("second sweep must not re-record, recorded %d more times", delta.Recordings)
 	}
-	if got := hit2 - hit1; got != 2 {
-		t.Errorf("second sweep should load each benchmark's trace from disk once, got %d hits", got)
+	if delta.CacheHits != 2 {
+		t.Errorf("second sweep should load each benchmark's trace from disk once, got %d hits", delta.CacheHits)
 	}
 }
 

@@ -20,6 +20,7 @@ type traceProvider struct {
 	dir          string
 	profileSteps uint64
 	cap          uint64 // record budget: the experiment's commit budget
+	obsv         *Observer
 
 	mu      sync.Mutex
 	entries map[string]*traceEntry
@@ -29,9 +30,17 @@ type traceEntry struct {
 	once sync.Once
 	tr   *trace.Trace
 	err  error
+
+	// Provenance, for manifests and spans: how this benchmark's trace
+	// was obtained ("hit" from the disk cache, "record" by emulation)
+	// and what each step cost on the observer's clock. Written inside
+	// once.Do, read only after it returns.
+	outcome  string
+	lookupNS int64
+	recordNS int64
 }
 
-func newTraceProvider(dir string, profileSteps, cap uint64) *traceProvider {
+func newTraceProvider(dir string, profileSteps, cap uint64, o *Observer) *traceProvider {
 	if dir == "" {
 		dir = trace.DefaultDir()
 	}
@@ -39,6 +48,7 @@ func newTraceProvider(dir string, profileSteps, cap uint64) *traceProvider {
 		dir:          dir,
 		profileSteps: profileSteps,
 		cap:          cap,
+		obsv:         o,
 		entries:      make(map[string]*traceEntry),
 	}
 }
@@ -47,17 +57,29 @@ func newTraceProvider(dir string, profileSteps, cap uint64) *traceProvider {
 // from the disk cache or recording it (once, however many scheme jobs
 // ask concurrently).
 func (p *traceProvider) get(ctx context.Context, pg stats.Programs, converted bool) (*trace.Trace, error) {
-	p.mu.Lock()
-	ent := p.entries[pg.Spec.Name]
-	if ent == nil {
-		ent = &traceEntry{}
-		p.entries[pg.Spec.Name] = ent
-	}
-	p.mu.Unlock()
+	ent := p.entry(pg.Spec.Name)
 	ent.once.Do(func() {
-		ent.tr, ent.err = p.load(ctx, pg, converted)
+		ent.tr, ent.err = p.load(ctx, pg, converted, ent)
 	})
 	return ent.tr, ent.err
+}
+
+func (p *traceProvider) entry(name string) *traceEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.entries[name]
+	if ent == nil {
+		ent = &traceEntry{}
+		p.entries[name] = ent
+	}
+	return ent
+}
+
+// info reports a loaded benchmark's trace provenance. Valid once get
+// has returned for the benchmark (the runner asks after session()).
+func (p *traceProvider) info(name string) (outcome string, lookupNS, recordNS int64) {
+	ent := p.entry(name)
+	return ent.outcome, ent.lookupNS, ent.recordNS
 }
 
 // session returns a worker-local replay session for one prepared
@@ -79,7 +101,7 @@ func (p *traceProvider) session(ctx context.Context, cache map[string]*stats.Ses
 	return s, nil
 }
 
-func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted bool) (*trace.Trace, error) {
+func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted bool, ent *traceEntry) (*trace.Trace, error) {
 	prog := pg.Plain
 	if converted {
 		prog = pg.Converted
@@ -95,7 +117,14 @@ func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted b
 		fmt.Sprintf("converted=%v", converted),
 		fmt.Sprintf("prog=%016x", hash),
 	)
-	if t, _ := trace.Load(p.dir, key); t != nil && t.ProgHash == hash && t.Covers(p.cap) {
+	o := p.obsv
+	t0 := o.now()
+	t, _ := trace.Load(p.dir, key)
+	ent.lookupNS = o.now() - t0
+	o.span(PhaseCacheLookup, ent.lookupNS)
+	if t != nil && t.ProgHash == hash && t.Covers(p.cap) {
+		ent.outcome = "hit"
+		o.cacheOutcome(ent.outcome)
 		return t, nil
 	}
 	var regions []trace.Region
@@ -104,10 +133,15 @@ func (p *traceProvider) load(ctx context.Context, pg stats.Programs, converted b
 			regions = append(regions, trace.Region{Kind: uint8(h.Kind), BranchPC: h.Branch})
 		}
 	}
+	t0 = o.now()
 	t, err := trace.Record(ctx, prog, trace.Options{MaxSteps: p.cap, Regions: regions})
 	if err != nil {
 		return nil, err
 	}
+	ent.recordNS = o.now() - t0
+	ent.outcome = "record"
+	o.span(PhaseRecord, ent.recordNS)
+	o.cacheOutcome(ent.outcome)
 	// The cache is advisory: a failed store costs a re-recording next
 	// process, never the run.
 	_ = trace.Store(p.dir, key, t)

@@ -197,12 +197,13 @@ func TestSpecFileRoundTrip(t *testing.T) {
 	}
 
 	run() // records the trace into dir
-	recBefore, hitsBefore := trace.Recordings(), trace.CacheHits()
+	before := trace.SnapshotCounters()
 	run() // must replay purely from the disk cache
-	if rec := trace.Recordings() - recBefore; rec != 0 {
-		t.Errorf("second run re-recorded %d traces, want 0", rec)
+	delta := trace.SnapshotCounters().Since(before)
+	if delta.Recordings != 0 {
+		t.Errorf("second run re-recorded %d traces, want 0", delta.Recordings)
 	}
-	if hits := trace.CacheHits() - hitsBefore; hits == 0 {
+	if delta.CacheHits == 0 {
 		t.Error("second run served no trace-cache hits")
 	}
 }
