@@ -8,9 +8,20 @@
 // -metric ips compares absolute instrs/s (meaningful between runs on
 // like hardware); -metric speedup compares the trace/pipeline ratio
 // measured within one run, which gates cleanly on shared CI runners
-// whose absolute speed varies.
+// whose absolute speed varies; -metric parallel gates the
+// parallel-vs-serial replay speedup the harness measures within one
+// run, equally machine-independent.
 //
 //	benchgate -old BENCH_trace.json.committed -new BENCH_trace.json -metric speedup -tol 0.30
+//
+// -min switches to floor mode: no baseline is read, and every series
+// value of the chosen metric in the fresh document must be at least the
+// floor. This gates within-run ratios whose absolute value depends on
+// the runner's core count (the committed baseline may have been
+// measured on different hardware), e.g. requiring the 8-worker parallel
+// replay to actually beat serial on CI's multi-core runners:
+//
+//	benchgate -new BENCH_trace.json -metric parallel -min 1.25
 package main
 
 import (
@@ -28,6 +39,7 @@ type benchDoc struct {
 	Benchmark       string                        `json:"benchmark"`
 	InstrsPerSecond map[string]map[string]float64 `json:"instrs_per_second"`
 	Speedup         map[string]float64            `json:"trace_mode_speedup"`
+	Parallel        map[string]float64            `json:"parallel_replay_speedup"`
 }
 
 // series flattens the document's chosen metric into comparable
@@ -48,8 +60,36 @@ func (d benchDoc) series(metric string) map[string]float64 {
 		for scheme, v := range d.Speedup {
 			out[scheme] = v
 		}
+	case "parallel":
+		for workers, v := range d.Parallel {
+			out[workers] = v
+		}
 	}
 	return out
+}
+
+// floor gates the fresh document alone against an absolute minimum:
+// every series value of the metric must be a finite figure of at least
+// min. Returned entries describe the violations in sorted key order; a
+// metric with no series at all is an error, not a trivially green gate.
+func floor(fresh benchDoc, metric string, min float64) ([]string, error) {
+	s := fresh.series(metric)
+	if len(s) == 0 {
+		return nil, fmt.Errorf("fresh document has no %s series", metric)
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var below []string
+	for _, k := range keys {
+		v := s[k]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < min {
+			below = append(below, fmt.Sprintf("%s = %.4g (floor %.4g)", k, v, min))
+		}
+	}
+	return below, nil
 }
 
 // drift is one out-of-band comparison.
@@ -139,18 +179,43 @@ func load(path string) (benchDoc, error) {
 
 func main() {
 	var (
-		oldPath = flag.String("old", "", "committed benchmark JSON (the baseline)")
+		oldPath = flag.String("old", "", "committed benchmark JSON (the baseline; unused with -min)")
 		newPath = flag.String("new", "BENCH_trace.json", "freshly generated benchmark JSON")
-		metric  = flag.String("metric", "ips", "what to gate: ips (absolute instrs/s; like hardware only) or speedup (trace/pipeline ratio; machine-independent)")
+		metric  = flag.String("metric", "ips", "what to gate: ips (absolute instrs/s; like hardware only), speedup (trace/pipeline ratio; machine-independent) or parallel (parallel-vs-serial replay ratio)")
 		tol     = flag.Float64("tol", 0.30, "relative tolerance band around the baseline")
+		min     = flag.Float64("min", 0, "floor mode: gate the fresh document alone, requiring every series value of the metric to be at least this (0 = baseline comparison)")
 	)
 	flag.Parse()
-	if *oldPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
+	if *metric != "ips" && *metric != "speedup" && *metric != "parallel" {
+		fmt.Fprintf(os.Stderr, "benchgate: -metric %q must be ips, speedup or parallel\n", *metric)
 		os.Exit(2)
 	}
-	if *metric != "ips" && *metric != "speedup" {
-		fmt.Fprintf(os.Stderr, "benchgate: -metric %q must be ips or speedup\n", *metric)
+	if *min < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -min %v must be positive\n", *min)
+		os.Exit(2)
+	}
+	if *min > 0 {
+		fresh, err := load(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		below, err := floor(fresh, *metric, *min)
+		if err != nil {
+			fatal(err)
+		}
+		for _, b := range below {
+			fmt.Printf("BELOW FLOOR      %s\n", b)
+		}
+		if len(below) > 0 {
+			fmt.Printf("benchgate: %d %s series below the %.4g floor\n", len(below), *metric, *min)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: %d %s series at or above the %.4g floor\n",
+			len(fresh.series(*metric)), *metric, *min)
+		return
+	}
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old is required (or use -min for floor mode)")
 		os.Exit(2)
 	}
 	if *tol <= 0 || *tol >= 1 {

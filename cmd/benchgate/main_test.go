@@ -176,6 +176,69 @@ func TestCompareEmptySeriesIsAnError(t *testing.T) {
 	}
 }
 
+// TestCompareParallelMetric pins the parallel-replay series: only
+// parallel_replay_speedup ratios are compared under -metric parallel,
+// and a collapsed ratio is flagged.
+func TestCompareParallelMetric(t *testing.T) {
+	old := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	old.Parallel = map[string]float64{"workers8": 3.5}
+	fresh := doc(map[string]float64{"conventional": 0.5e6}, map[string]float64{"conventional": 2e7})
+	fresh.Parallel = map[string]float64{"workers8": 3.4}
+	if c := mustCompare(t, old, fresh, "parallel", 0.30); c.failed() {
+		t.Fatalf("parallel metric must ignore absolute slowdown: %+v", c)
+	}
+	fresh.Parallel["workers8"] = 1.1
+	c := mustCompare(t, old, fresh, "parallel", 0.30)
+	if len(c.drifts) != 1 || c.drifts[0].Key != "workers8" {
+		t.Fatalf("collapsed parallel speedup should be the one drift: %v", c.drifts)
+	}
+}
+
+// TestFloorMode is the table for -min: the fresh document gates alone
+// against an absolute floor, flagging values below it (and non-finite
+// values) in sorted key order, erroring on an absent series rather
+// than passing trivially.
+func TestFloorMode(t *testing.T) {
+	base := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	cases := []struct {
+		name      string
+		parallel  map[string]float64
+		min       float64
+		wantBelow int
+		wantErr   bool
+	}{
+		{name: "all above", parallel: map[string]float64{"workers8": 2.5, "workers4": 1.8}, min: 1.25},
+		{name: "exactly at the floor", parallel: map[string]float64{"workers8": 1.25}, min: 1.25},
+		{name: "one below", parallel: map[string]float64{"workers8": 2.5, "workers4": 1.1}, min: 1.25, wantBelow: 1},
+		{name: "all below", parallel: map[string]float64{"workers8": 0.9, "workers4": 0.8}, min: 1.25, wantBelow: 2},
+		{name: "NaN is below any floor", parallel: map[string]float64{"workers8": math.NaN()}, min: 1.25, wantBelow: 1},
+		{name: "Inf is not a measurement", parallel: map[string]float64{"workers8": math.Inf(1)}, min: 1.25, wantBelow: 1},
+		{name: "no series is an error", parallel: nil, min: 1.25, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base
+			d.Parallel = tc.parallel
+			below, err := floor(d, "parallel", tc.min)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, want error=%v", err, tc.wantErr)
+			}
+			if len(below) != tc.wantBelow {
+				t.Fatalf("below = %v, want %d entries", below, tc.wantBelow)
+			}
+			for i := 1; i < len(below); i++ {
+				if below[i-1] >= below[i] {
+					t.Errorf("violations must be key-sorted: %v", below)
+				}
+			}
+		})
+	}
+	// The floor also applies to the other metrics (absolute ips floors).
+	if below, err := floor(base, "ips", 1e5); err != nil || len(below) != 0 {
+		t.Fatalf("ips floor: below=%v err=%v", below, err)
+	}
+}
+
 // TestCompareSpeedupMetric pins the machine-independent gate CI uses:
 // only trace_mode_speedup ratios are compared, so absolute instrs/s
 // drift (a slower runner) is invisible while a collapsed speedup is

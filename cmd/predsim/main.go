@@ -41,6 +41,8 @@ func main() {
 		ideal     = flag.Bool("ideal", false, "idealized predictors: no aliasing, perfect global history")
 		selectPr  = flag.Bool("select", false, "force select-µop predication (disable selective prediction)")
 		mode      = flag.String("mode", "pipeline", "execution mode: pipeline (cycle model) or trace (record-once trace replay, accuracy stats only)")
+		replayW   = flag.Int("replay-workers", 0, "trace mode only: replay checkpointed trace segments on this many workers (0/1 = serial; results bit-identical)")
+		replayWu  = flag.Uint64("replay-warmup", 0, "parallel replay: per-segment warm-up window in committed instructions")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metrics   = flag.String("metrics", "", "write a metrics snapshot (spans, counters) to this JSON file at exit")
@@ -121,6 +123,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *replayW > 1 && m != sim.ModeTrace {
+		fatal(fmt.Errorf("-replay-workers %d needs -mode trace (parallel replay has no pipeline counterpart)", *replayW))
+	}
 	var obsv *sim.Observer
 	if *metrics != "" || *manifest != "" {
 		obsv = sim.NewObserver()
@@ -140,11 +145,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := sim.SimulateProgram(ctx, sim.ProgramRun{
-		Program:  prog,
-		Scheme:   *scheme,
-		Commits:  *commits,
-		Mode:     m,
-		Observer: obsv,
+		Program:       prog,
+		Scheme:        *scheme,
+		Commits:       *commits,
+		Mode:          m,
+		ReplayWorkers: *replayW,
+		ReplayWarmup:  *replayWu,
+		Observer:      obsv,
 		Mutate: func(c *sim.Config) {
 			if *ideal {
 				c.IdealNoAlias, c.IdealPerfectGHR = true, true

@@ -55,6 +55,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "subsample shuffle seed")
 		format    = flag.String("format", "csv", "output format: csv | json (long format, one row per run)")
 		par       = flag.Int("p", 0, "point worker parallelism (0 = GOMAXPROCS)")
+		replayW   = flag.Int("replay-workers", 0, "trace mode only: replay checkpointed trace segments on this many workers (0/1 = serial; results bit-identical)")
+		replayWu  = flag.Uint64("replay-warmup", 0, "parallel replay: per-segment warm-up window in committed instructions")
 		summary   = flag.Bool("summary", true, "print best point and per-axis marginals to stderr")
 		verbose   = flag.Bool("v", false, "print a throttled progress heartbeat (point, elapsed, ETA) to stderr")
 		knobs     = flag.Bool("knobs", false, "list the registered sweep knobs and exit")
@@ -94,6 +96,11 @@ func main() {
 		sim.WithProfileSteps(*profSteps),
 		sim.WithMode(m),
 		sim.WithParallelism(*par),
+		sim.WithReplayParallelism(*replayW),
+		sim.WithReplayWarmup(*replayWu),
+	}
+	if *replayW > 1 && m != sim.ModeTrace {
+		fatal(fmt.Errorf("-replay-workers %d needs -mode trace (parallel replay has no pipeline counterpart)", *replayW))
 	}
 	if *verbose {
 		opts = append(opts, sim.WithProgress(heartbeat(os.Stderr)))

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// drive runs count predict+train steps with pseudo-random compares and
+// returns the predicted-value/confidence stream.
+func drive(g *lcg, p *Predictor, count int) []Lookup {
+	out := make([]Lookup, count)
+	for i := range out {
+		r := g.next()
+		lk := p.Predict(r>>16&0x1ff, r>>24)
+		out[i] = lk
+		p.Train(lk, r&1 == 1, r>>1&1 == 1)
+	}
+	return out
+}
+
+// TestPredicateSnapshotRoundTrip: snapshot the predicate predictor
+// (PVT weights, local histories, confidence counters), mutate with
+// further training, restore, and require the pre-mutation
+// prediction/confidence stream — in place, into a fresh instance, and
+// with ideal mode growing rows between snapshot and restore.
+func TestPredicateSnapshotRoundTrip(t *testing.T) {
+	for _, ideal := range []bool{false, true} {
+		name := "hashed"
+		if ideal {
+			name = "ideal"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{SizeBytes: 4096, GHRBits: 12, LHRBits: 6, LHTBits: 8, ConfBits: 3, Ideal: ideal}
+			p := New(cfg)
+			g := lcg(23)
+			drive(&g, p, 2000)
+			snap := p.Snapshot()
+			gSaved := g
+			want := drive(&g, p, 1000)
+			wantState := p.Snapshot()
+
+			p.Restore(snap)
+			g = gSaved
+			if got := drive(&g, p, 1000); !reflect.DeepEqual(got, want) {
+				t.Error("in-place restore changed the prediction stream")
+			}
+			if !reflect.DeepEqual(p.Snapshot(), wantState) {
+				t.Error("in-place restore landed on a different state")
+			}
+
+			fresh := New(cfg)
+			fresh.Restore(snap)
+			g = gSaved
+			if got := drive(&g, fresh, 1000); !reflect.DeepEqual(got, want) {
+				t.Error("fresh-instance restore changed the prediction stream")
+			}
+			if !reflect.DeepEqual(fresh.Snapshot(), wantState) {
+				t.Error("fresh-instance restore landed on a different state")
+			}
+
+			// The snapshot must not alias live storage (ideal mode appends
+			// to conf/weights; hashed mode trains in place).
+			savedConf := append([]predictor.SatCounter(nil), snap.Conf...)
+			drive(&g, fresh, 500)
+			if !reflect.DeepEqual(snap.Conf, savedConf) {
+				t.Error("snapshot aliases the predictor's live confidence counters")
+			}
+		})
+	}
+}

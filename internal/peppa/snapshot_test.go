@@ -1,0 +1,67 @@
+package peppa
+
+import (
+	"reflect"
+	"testing"
+)
+
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// drive runs count predict+update steps with pseudo-random PCs,
+// predicate selectors and outcomes, returning the prediction stream.
+func drive(g *lcg, p *Predictor, count int) []bool {
+	out := make([]bool, count)
+	for i := range out {
+		r := g.next()
+		lk := p.Predict(r>>16&0xfff, r>>1&1 == 1)
+		out[i] = lk.Taken
+		p.Update(lk, r&1 == 1)
+	}
+	return out
+}
+
+// TestPEPPASnapshotRoundTrip: snapshot the PEP-PA predictor, mutate
+// both local-history banks and the pattern table with further
+// training, restore, and require the pre-mutation prediction stream —
+// in place and into a fresh instance.
+func TestPEPPASnapshotRoundTrip(t *testing.T) {
+	cfg := Config{LHTEntries: 512, LHRBits: 10, PHTBits: 10}
+	p := New(cfg)
+	g := lcg(17)
+	drive(&g, p, 2000)
+	snap := p.Snapshot()
+	gSaved := g
+	want := drive(&g, p, 1000)
+	wantState := p.Snapshot()
+
+	p.Restore(snap)
+	g = gSaved
+	if got := drive(&g, p, 1000); !reflect.DeepEqual(got, want) {
+		t.Error("in-place restore changed the prediction stream")
+	}
+	if !reflect.DeepEqual(p.Snapshot(), wantState) {
+		t.Error("in-place restore landed on a different state")
+	}
+
+	fresh := New(cfg)
+	fresh.Restore(snap)
+	g = gSaved
+	if got := drive(&g, fresh, 1000); !reflect.DeepEqual(got, want) {
+		t.Error("fresh-instance restore changed the prediction stream")
+	}
+	if !reflect.DeepEqual(fresh.Snapshot(), wantState) {
+		t.Error("fresh-instance restore landed on a different state")
+	}
+
+	// The snapshot must not alias live storage.
+	savedLHT := append([][2]uint64(nil), snap.LHT...)
+	drive(&g, fresh, 200)
+	if !reflect.DeepEqual(snap.LHT, savedLHT) {
+		t.Error("snapshot aliases the predictor's live local histories")
+	}
+}

@@ -1,0 +1,181 @@
+package predictor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for snapshot-test stimulus
+// (PCs, histories, outcomes) — no global rand, so runs are identical
+// everywhere.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// driveTwoLevel runs count predict+train steps and returns the
+// prediction stream.
+func driveTwoLevel(g *lcg, p *TwoLevel, count int) []bool {
+	out := make([]bool, count)
+	for i := range out {
+		r := g.next()
+		pc := r >> 16 & 0x3ff
+		lk := p.Predict(pc, p.lhtProbeGHR(r))
+		out[i] = lk.Taken
+		p.Train(lk, r&1 == 1)
+	}
+	return out
+}
+
+// lhtProbeGHR derives a deterministic pseudo-GHR for the drive loop.
+func (t *TwoLevel) lhtProbeGHR(r uint64) uint64 { return r >> 7 }
+
+// TestTwoLevelSnapshotRoundTrip covers the conventional second-level
+// predictor (perceptron + local history table together): snapshot,
+// mutate with further training, restore, and require the pre-mutation
+// prediction stream — in place and into a fresh instance.
+func TestTwoLevelSnapshotRoundTrip(t *testing.T) {
+	for _, ideal := range []bool{false, true} {
+		name := "hashed"
+		if ideal {
+			name = "ideal"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := NewTwoLevel(4096, 12, 6, 8)
+			p.SetIdeal(ideal)
+			g := lcg(7)
+			driveTwoLevel(&g, p, 2000)
+			snap := p.Snapshot()
+			gSaved := g
+			want := driveTwoLevel(&g, p, 1000)
+			wantState := p.Snapshot()
+
+			p.Restore(snap)
+			g = gSaved
+			if got := driveTwoLevel(&g, p, 1000); !reflect.DeepEqual(got, want) {
+				t.Error("in-place restore changed the prediction stream")
+			}
+			if !reflect.DeepEqual(p.Snapshot(), wantState) {
+				t.Error("in-place restore landed on a different state")
+			}
+
+			fresh := NewTwoLevel(4096, 12, 6, 8)
+			fresh.SetIdeal(ideal)
+			fresh.Restore(snap)
+			g = gSaved
+			if got := driveTwoLevel(&g, fresh, 1000); !reflect.DeepEqual(got, want) {
+				t.Error("fresh-instance restore changed the prediction stream")
+			}
+			if !reflect.DeepEqual(fresh.Snapshot(), wantState) {
+				t.Error("fresh-instance restore landed on a different state")
+			}
+		})
+	}
+}
+
+// TestPerceptronSnapshotRoundTrip pins the perceptron alone, with
+// ideal mode growing both the weight storage and the PC→row map
+// between snapshot and restore.
+func TestPerceptronSnapshotRoundTrip(t *testing.T) {
+	p := NewPerceptron(8, 10, 4)
+	p.SetIdeal(true)
+	g := lcg(13)
+	train := func(n int) {
+		for i := 0; i < n; i++ {
+			r := g.next()
+			pc := r >> 20 & 0xff
+			out := p.Predict(pc, r>>4, r>>40)
+			p.Train(pc, r>>4, r>>40, r&1 == 1, out)
+		}
+	}
+	train(500)
+	snap := p.Snapshot()
+	before := len(snap.Weights)
+	train(500) // grows storage with new PCs
+	p.Restore(snap)
+	got := p.Snapshot()
+	if len(got.Weights) != before {
+		t.Errorf("restore kept grown weights: %d, want %d", len(got.Weights), before)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Error("perceptron state did not round-trip")
+	}
+	// The snapshot must not alias live storage.
+	saved := append([]int8(nil), snap.Weights...)
+	train(500)
+	if !reflect.DeepEqual(snap.Weights, saved) {
+		t.Error("snapshot aliases the perceptron's live weights")
+	}
+}
+
+// TestLocalHistoryTableSnapshotRoundTrip pins the LHT alone.
+func TestLocalHistoryTableSnapshotRoundTrip(t *testing.T) {
+	l := NewLocalHistoryTable(6, 10)
+	g := lcg(29)
+	for i := 0; i < 300; i++ {
+		r := g.next()
+		l.Push(r>>8&0xff, r&1 == 1)
+	}
+	snap := l.Snapshot()
+	for i := 0; i < 300; i++ {
+		r := g.next()
+		l.Push(r>>8&0xff, r&1 == 1)
+	}
+	l.Restore(snap)
+	if !reflect.DeepEqual(l.Snapshot(), snap) {
+		t.Error("local history table did not round-trip")
+	}
+	saved := append([]uint64(nil), snap...)
+	l.Push(1, true)
+	if !reflect.DeepEqual(snap, saved) {
+		t.Error("snapshot aliases the table's live entries")
+	}
+}
+
+// TestIndirectTableSnapshotRoundTrip pins the last-target table.
+func TestIndirectTableSnapshotRoundTrip(t *testing.T) {
+	it := NewIndirectTable(6)
+	g := lcg(31)
+	for i := 0; i < 200; i++ {
+		r := g.next()
+		it.Update(r>>8, int(r&0xffff))
+	}
+	snap := it.Snapshot()
+	probe := make([]int, 64)
+	for i := range probe {
+		probe[i] = it.Predict(uint64(i) << 3)
+	}
+	for i := 0; i < 200; i++ {
+		r := g.next()
+		it.Update(r>>8, int(r&0xffff))
+	}
+	it.Restore(snap)
+	for i := range probe {
+		if got := it.Predict(uint64(i) << 3); got != probe[i] {
+			t.Fatalf("slot probe %d: got %d after restore, want %d", i, got, probe[i])
+		}
+	}
+}
+
+// TestRASSnapshotIndependence extends the existing RAS snapshot
+// behavior to the parallel-replay requirement: one snapshot restored
+// into two stacks must leave them independent.
+func TestRASSnapshotIndependence(t *testing.T) {
+	r := NewRAS(8)
+	for i := 1; i <= 5; i++ {
+		r.Push(i * 10)
+	}
+	snap := r.Snapshot()
+	a, b := NewRAS(8), NewRAS(8)
+	a.Restore(snap)
+	b.Restore(snap)
+	if got := a.Pop(); got != 50 {
+		t.Fatalf("restored stack popped %d, want 50", got)
+	}
+	a.Push(999)
+	if got := b.Pop(); got != 50 {
+		t.Errorf("sibling restore affected by mutation: popped %d, want 50", got)
+	}
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestParallelReplayMatchesSerialSuite is the parallel engine's
+// equality oracle, in the same whole-suite pattern as the single-pass
+// oracle above it in this package: for every suite benchmark, parallel
+// segment replay with multiple workers, a small stride and a
+// non-trivial warm-up window must produce per-scheme statistics
+// bit-identical to serial ReplayAll. Run it under -race -cpu 1,4,8 to
+// also prove the worker pool race-free (CI does).
+func TestParallelReplayMatchesSerialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a trace per suite benchmark; skipped with -short")
+	}
+	const commits = 40000
+	cfgs := schemeCfgs()
+	opt := ParallelOptions{Workers: 4, SegmentInstrs: 4096, WarmupInstrs: 1500}
+	for _, spec := range bench.Suite() {
+		tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: commits + 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := ReplayAll(context.Background(), cfgs, tr, commits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ReplayAllParallel(context.Background(), cfgs, tr, commits, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(cfgs) {
+			t.Fatalf("%s: parallel replay returned %d stats for %d configs", spec.Name, len(par), len(cfgs))
+		}
+		for i := range cfgs {
+			if !reflect.DeepEqual(par[i], serial[i]) {
+				t.Errorf("%s/%s: parallel stats diverge from serial replay:\n par: %+v\n ser: %+v",
+					spec.Name, replaySchemes[i], par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestParallelReplaySessionReuse pins the amortization contract: the
+// first Session.ReplayAllParallel call runs the serial build pass and
+// returns its exact statistics, subsequent matching calls replay the
+// cached plan's segments in parallel — all bit-identical to serial
+// replay, across heterogeneous configuration sets and worker counts
+// (the plan key is worker-independent).
+func TestParallelReplaySessionReuse(t *testing.T) {
+	spec, err := bench.Find("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := config.Default().WithScheme(config.SchemePredicate)
+	ideal := base
+	ideal.IdealNoAlias, ideal.IdealPerfectGHR = true, true
+	norepair := base
+	norepair.DisableGHRRepair = true
+	sel := base
+	sel.Predication = config.PredicationSelect
+	cfgs := []config.Config{
+		config.Default().WithScheme(config.SchemeConventional),
+		base, ideal, norepair, sel,
+		config.Default().WithScheme(config.SchemePEPPA),
+	}
+	const commits = 40000
+	serial, err := ReplayAll(context.Background(), cfgs, tr, commits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(tr)
+	opt := ParallelOptions{Workers: 3, SegmentInstrs: 6000, WarmupInstrs: 2000}
+	first, err := sess.ReplayAllParallel(context.Background(), cfgs, commits, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := sess.plan
+	if plan == nil {
+		t.Fatal("first parallel replay did not cache a plan")
+	}
+	second, err := sess.ReplayAllParallel(context.Background(), cfgs, commits, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.plan != plan {
+		t.Error("matching second call rebuilt the plan instead of reusing it")
+	}
+	wide := opt
+	wide.Workers = 8
+	third, err := sess.ReplayAllParallel(context.Background(), cfgs, commits, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.plan != plan {
+		t.Error("worker-count change rebuilt the plan; the key must be worker-independent")
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(first[i], serial[i]) {
+			t.Errorf("cfg %d: build-pass stats diverge from serial:\n got: %+v\nwant: %+v", i, first[i], serial[i])
+		}
+		if !reflect.DeepEqual(second[i], serial[i]) {
+			t.Errorf("cfg %d: cached parallel stats diverge from serial:\n got: %+v\nwant: %+v", i, second[i], serial[i])
+		}
+		if !reflect.DeepEqual(third[i], serial[i]) {
+			t.Errorf("cfg %d: 8-worker stats diverge from serial:\n got: %+v\nwant: %+v", i, third[i], serial[i])
+		}
+	}
+	// A different budget is a different plan.
+	if _, err := sess.ReplayAllParallel(context.Background(), cfgs, commits/2, opt); err != nil {
+		t.Fatal(err)
+	}
+	if sess.plan == plan {
+		t.Error("budget change must rebuild the plan")
+	}
+}
+
+// TestParallelReplayEdges sweeps the degenerate corners: a warm-up
+// window wider than the stride (segments warm across several
+// checkpoints' spans), a stride wider than the trace (one segment,
+// the serial loop in disguise), a single worker, an unbudgeted replay
+// that runs to the halt record, and a budget beyond the recorded
+// trace. Every corner must stay bit-identical to serial replay.
+func TestParallelReplayEdges(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := schemeCfgs()
+	cases := []struct {
+		name    string
+		commits uint64
+		opt     ParallelOptions
+	}{
+		{"warmup-exceeds-stride", 25000, ParallelOptions{Workers: 4, SegmentInstrs: 2048, WarmupInstrs: 5000}},
+		{"single-segment", 25000, ParallelOptions{Workers: 4, SegmentInstrs: 1 << 30, WarmupInstrs: 100}},
+		{"single-worker", 25000, ParallelOptions{Workers: 1, SegmentInstrs: 3000, WarmupInstrs: 500}},
+		{"zero-warmup", 25000, ParallelOptions{Workers: 4, SegmentInstrs: 3000}},
+		{"to-halt", 0, ParallelOptions{Workers: 4, SegmentInstrs: 3000, WarmupInstrs: 500}},
+		{"budget-past-trace", 10 * 30000, ParallelOptions{Workers: 4, SegmentInstrs: 3000, WarmupInstrs: 500}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := ReplayAll(context.Background(), cfgs, tr, tc.commits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ReplayAllParallel(context.Background(), cfgs, tr, tc.commits, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cfgs {
+				if !reflect.DeepEqual(par[i], serial[i]) {
+					t.Errorf("%s: parallel stats diverge from serial:\n par: %+v\n ser: %+v",
+						replaySchemes[i], par[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReplayCancellation pins the cancellation contract: a
+// cancelled context fails the build pass, and cancelling a cached
+// plan's parallel run returns an error with no partial statistics.
+func TestParallelReplayCancellation(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := schemeCfgs()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReplayAllParallel(ctx, cfgs, tr, 0, ParallelOptions{Workers: 2}); err == nil {
+		t.Fatal("want context error from cancelled parallel replay build")
+	}
+	sess := NewSession(tr)
+	opt := ParallelOptions{Workers: 2, SegmentInstrs: 16384}
+	if _, err := sess.ReplayAllParallel(context.Background(), cfgs, 0, opt); err != nil {
+		t.Fatal(err)
+	}
+	sts, err := sess.ReplayAllParallel(ctx, cfgs, 0, opt)
+	if err == nil {
+		t.Fatal("want context error from cancelled cached-plan replay")
+	}
+	if sts != nil {
+		t.Fatalf("cancelled parallel replay must not return partial stats, got %d entries", len(sts))
+	}
+}
+
+// TestParallelReplayRejectsBadInput mirrors the serial error paths.
+func TestParallelReplayRejectsBadInput(t *testing.T) {
+	spec, err := bench.Find("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayAllParallel(context.Background(), nil, tr, 0, ParallelOptions{}); err == nil {
+		t.Error("empty config set should fail")
+	}
+	bad := config.Default().WithScheme(config.SchemePredicate)
+	bad.FetchWidth = 0
+	if _, err := ReplayAllParallel(context.Background(), []config.Config{bad}, tr, 0, ParallelOptions{}); err == nil {
+		t.Error("invalid configuration should fail")
+	}
+}
+
+// BenchmarkReplayParallel measures cached-plan parallel replay at a
+// sweep of worker counts — the amortized steady state a sweep or
+// service reaches after the first build pass. Compare against
+// BenchmarkReplayAllSinglePass for the serial baseline.
+func BenchmarkReplayParallel(b *testing.B) {
+	const commits = 200000
+	tr := recordBenchTrace(b, "vpr", commits)
+	cfgs := schemeCfgs()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			sess := NewSession(tr)
+			opt := ParallelOptions{Workers: workers, SegmentInstrs: commits / 32, WarmupInstrs: 1024}
+			if _, err := sess.ReplayAllParallel(context.Background(), cfgs, commits, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := sess.ReplayAllParallel(context.Background(), cfgs, commits, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(cfgs))*commits*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

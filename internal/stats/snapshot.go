@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/peppa"
+	"repro/internal/pipeline"
+	"repro/internal/predictor"
+)
+
+// This file gives the replay engine's two halves — the
+// scheme-independent frontend and the per-scheme engine — explicit
+// snapshot/restore of all mutable state, the foundation of
+// checkpoint-based parallel segment replay (parallel.go). A snapshot
+// is deep: it shares no storage with the engine it came from, so one
+// snapshot can restore many engines concurrently (each restore
+// allocates the engine's own fresh copies).
+
+// snapshot returns the frontend's full mutable state. The frontend is
+// a plain value (fixed-size arrays and a counter), so a copy is a deep
+// checkpoint.
+func (f *frontend) snapshot() frontend { return *f }
+
+// restore reinstates a frontend snapshot.
+func (f *frontend) restore(s frontend) { *f = s }
+
+// engineState is a deep checkpoint of a schemeEngine's mutable state:
+// second-level predictor tables, the PPRF prediction mirror, the
+// delayed-training ring, the speculative-GHR ring, target predictors
+// and accumulated statistics. Scheme-specific components are nil when
+// the scheme does not instantiate them, mirroring the engine itself.
+type engineState struct {
+	predPred [isa.NumPred]bool
+	predConf [isa.NumPred]bool
+	prodStep [isa.NumPred]uint64
+
+	twolevel *predictor.TwoLevelState
+	pep      *peppa.State
+	pp       *core.State
+	pGHR     uint64
+	retired  uint64
+
+	shadow    *predictor.TwoLevelState
+	shadowGHR uint64
+
+	trainQ    [trainWindow]pendingTrain
+	trainHead int
+	trainLen  int
+
+	ring     [repairWindow]specBit
+	ringHead int
+	ringLen  int
+	ringBits uint64
+
+	ras  predictor.RASSnapshot
+	itab []int
+
+	st pipeline.Stats
+}
+
+// snapshot deep-copies every piece of mutable engine state. The
+// fixed-size rings (trainQ, ring) hold only value types, so the array
+// copies are deep; predictor components copy through their own
+// Snapshot methods.
+func (e *schemeEngine) snapshot() *engineState {
+	s := &engineState{
+		predPred:  e.predPred,
+		predConf:  e.predConf,
+		prodStep:  e.prodStep,
+		pGHR:      e.pGHR.Snapshot(),
+		retired:   e.retired.Snapshot(),
+		shadowGHR: e.shadowGHR.Snapshot(),
+		trainQ:    e.trainQ,
+		trainHead: e.trainHead,
+		trainLen:  e.trainLen,
+		ring:      e.ring,
+		ringHead:  e.ringHead,
+		ringLen:   e.ringLen,
+		ringBits:  e.ringBits,
+		ras:       e.ras.Snapshot(),
+		itab:      e.itab.Snapshot(),
+		st:        e.st,
+	}
+	if e.twolevel != nil {
+		t := e.twolevel.Snapshot()
+		s.twolevel = &t
+	}
+	if e.pep != nil {
+		p := e.pep.Snapshot()
+		s.pep = &p
+	}
+	if e.pp != nil {
+		p := e.pp.Snapshot()
+		s.pp = &p
+	}
+	if e.shadow != nil {
+		t := e.shadow.Snapshot()
+		s.shadow = &t
+	}
+	return s
+}
+
+// restore reinstates a snapshot taken from an engine built with the
+// same configuration. The snapshot is only read, never aliased, so
+// many engines may restore from one snapshot concurrently.
+func (e *schemeEngine) restore(s *engineState) {
+	e.predPred = s.predPred
+	e.predConf = s.predConf
+	e.prodStep = s.prodStep
+	e.pGHR.Restore(s.pGHR)
+	e.retired.Restore(s.retired)
+	e.shadowGHR.Restore(s.shadowGHR)
+	e.trainQ = s.trainQ
+	e.trainHead = s.trainHead
+	e.trainLen = s.trainLen
+	e.ring = s.ring
+	e.ringHead = s.ringHead
+	e.ringLen = s.ringLen
+	e.ringBits = s.ringBits
+	e.ras.Restore(s.ras)
+	e.itab.Restore(s.itab)
+	e.st = s.st
+	if e.twolevel != nil {
+		e.twolevel.Restore(*s.twolevel)
+	}
+	if e.pep != nil {
+		e.pep.Restore(*s.pep)
+	}
+	if e.pp != nil {
+		e.pp.Restore(*s.pp)
+	}
+	if e.shadow != nil {
+		e.shadow.Restore(*s.shadow)
+	}
+}

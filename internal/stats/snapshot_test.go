@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// feedEvents replays up to nEvents admitted (non-marker) events from
+// the cursor through the frontend and engines — a miniature of the
+// serial loop without budget handling, enough to drive engines to a
+// known state deterministically for snapshot tests.
+func feedEvents(cur *trace.Cursor, fe *frontend, engines []*schemeEngine, committed *uint64, nEvents int) int {
+	evs := make([]trace.Event, 256)
+	notes := make([]note, 256)
+	fed := 0
+	for fed < nEvents {
+		want := nEvents - fed
+		if want > len(evs) {
+			want = len(evs)
+		}
+		nDec := cur.NextBatch(evs[:want])
+		if nDec == 0 {
+			break
+		}
+		n := 0
+		for i := 0; i < nDec; i++ {
+			ev := &evs[i]
+			*committed += ev.Gap
+			if ev.Kind != trace.EvMarker {
+				*committed++
+				fe.step = *committed
+				if ev.Kind == trace.EvHalt {
+					break
+				}
+				if n != i {
+					evs[n] = *ev
+				}
+				fe.annotate(&evs[n], &notes[n])
+				n++
+			}
+		}
+		for _, e := range engines {
+			e.applyBatch(evs[:n], notes[:n])
+		}
+		fed += n
+	}
+	return fed
+}
+
+// snapshotVariants covers every scheme plus the knobs that change
+// which mutable state exists (ideal-mode table growth, selective
+// predication's cancellation paths, disabled GHR repair).
+func snapshotVariants() map[string]config.Config {
+	conv := config.Default().WithScheme(config.SchemeConventional)
+	convIdeal := conv
+	convIdeal.IdealNoAlias = true
+	pred := config.Default().WithScheme(config.SchemePredicate)
+	predIdeal := pred
+	predIdeal.IdealNoAlias, predIdeal.IdealPerfectGHR = true, true
+	predSel := pred
+	predSel.Predication = config.PredicationSelect
+	predNoRepair := pred
+	predNoRepair.DisableGHRRepair = true
+	return map[string]config.Config{
+		"conventional":       conv,
+		"conventional-ideal": convIdeal,
+		"peppa":              config.Default().WithScheme(config.SchemePEPPA),
+		"predicate":          pred,
+		"predicate-ideal":    predIdeal,
+		"predicate-select":   predSel,
+		"predicate-norepair": predNoRepair,
+	}
+}
+
+// TestEngineSnapshotRoundTrip is the engine-level snapshot oracle:
+// warm an engine on a real trace, snapshot, keep replaying (mutating
+// every component — predictor tables, PPRF mirror, delayed-training
+// ring, spec-GHR ring), then restore and replay the same window again.
+// The restored run must land on a state (and statistics stream)
+// deep-equal to the first run — both restoring in place and restoring
+// into a freshly built engine. If a snapshot aliased engine storage,
+// the post-snapshot mutation would leak into the restore and the
+// second run would diverge, so aliasing is caught too.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	spec, err := bench.Find("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(context.Background(), bench.Build(spec), trace.Options{MaxSteps: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmEvents, windowEvents = 4000, 4000
+	for name, cfg := range snapshotVariants() {
+		t.Run(name, func(t *testing.T) {
+			e, err := newSchemeEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fe frontend
+			fe.predVal[isa.P0] = true
+			fe.prevVal[isa.P0] = true
+			cur := tr.EventCursor()
+			var committed uint64
+			if n := feedEvents(cur, &fe, []*schemeEngine{e}, &committed, warmEvents); n != warmEvents {
+				t.Fatalf("warm-up fed %d events, want %d", n, warmEvents)
+			}
+			if cfg.Scheme == config.SchemePredicate {
+				// The checkpoint must be taken with the in-flight windows
+				// live, or the test would not cover their round-trip.
+				if e.trainLen == 0 || e.ringLen == 0 {
+					t.Fatalf("in-flight windows empty at snapshot (trainLen=%d ringLen=%d)", e.trainLen, e.ringLen)
+				}
+			}
+			snap := e.snapshot()
+			feSnap := fe.snapshot()
+			offset := cur.Offset()
+			mark := committed
+
+			feedEvents(cur, &fe, []*schemeEngine{e}, &committed, windowEvents)
+			after1 := e.snapshot()
+
+			// Restore in place and replay the identical window.
+			e.restore(snap)
+			var fe2 frontend
+			fe2.restore(feSnap)
+			c2 := mark
+			feedEvents(tr.EventCursorAt(offset), &fe2, []*schemeEngine{e}, &c2, windowEvents)
+			if after2 := e.snapshot(); !reflect.DeepEqual(after1, after2) {
+				t.Errorf("in-place restore diverged from pre-mutation replay")
+			}
+
+			// Restore into a fresh engine (the parallel worker's path).
+			f, err := newSchemeEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.restore(snap)
+			var fe3 frontend
+			fe3.restore(feSnap)
+			c3 := mark
+			feedEvents(tr.EventCursorAt(offset), &fe3, []*schemeEngine{f}, &c3, windowEvents)
+			if after3 := f.snapshot(); !reflect.DeepEqual(after1, after3) {
+				t.Errorf("fresh-engine restore diverged from pre-mutation replay")
+			}
+		})
+	}
+}
+
+// TestFrontendSnapshotRoundTrip pins the frontend's own
+// snapshot/restore: step counter, architectural predicate values and
+// renaming positions all survive the round trip by value.
+func TestFrontendSnapshotRoundTrip(t *testing.T) {
+	var fe frontend
+	fe.predVal[isa.P0] = true
+	fe.prevVal[isa.P0] = true
+	fe.step = 1234
+	fe.predVal[3] = true
+	fe.prevVal[5] = true
+	fe.prodStep[3] = 1200
+	snap := fe.snapshot()
+	mutated := fe
+	mutated.step = 9999
+	mutated.predVal[3] = false
+	mutated.prodStep[3] = 9000
+	var back frontend
+	back.restore(snap)
+	if !reflect.DeepEqual(back, fe) {
+		t.Errorf("frontend round trip lost state:\n got: %+v\nwant: %+v", back, fe)
+	}
+}

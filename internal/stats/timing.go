@@ -41,6 +41,6 @@ func (s *Session) ReplayAllTimed(ctx context.Context, cfgs []config.Config, comm
 
 func (s *scratch) replayAllTimed(ctx context.Context, cfgs []config.Config, tr *trace.Trace, commits uint64, now func() int64) ([]pipeline.Stats, *Timings, error) {
 	tm := &Timings{EngineNS: make([]int64, len(cfgs))}
-	sts, err := s.replay(ctx, cfgs, tr, commits, tm, now)
+	sts, err := s.replay(ctx, cfgs, tr, commits, tm, now, nil)
 	return sts, tm, err
 }

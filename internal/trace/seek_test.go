@@ -1,0 +1,61 @@
+package trace
+
+import "testing"
+
+// TestEventCursorAtResumesSnapshotOffset pins the seek contract behind
+// parallel segment replay: an Offset taken at any event boundary,
+// handed to EventCursorAt, must resume decoding exactly the remaining
+// event suffix.
+func TestEventCursorAtResumesSnapshotOffset(t *testing.T) {
+	tr := recordBench(t, "gzip", 20000)
+	var all []Event
+	var offsets []int // offsets[i] = cursor position before event i
+	cur := tr.EventCursor()
+	var ev Event
+	for {
+		offsets = append(offsets, cur.Offset())
+		if !cur.Next(&ev) {
+			break
+		}
+		all = append(all, ev)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last := offsets[len(offsets)-1]; last != len(tr.Events) {
+		t.Fatalf("terminal offset %d, want stream length %d", last, len(tr.Events))
+	}
+	for _, start := range []int{0, 1, len(all) / 3, len(all) - 1, len(all)} {
+		re := tr.EventCursorAt(offsets[start])
+		for i := start; i < len(all); i++ {
+			if !re.Next(&ev) {
+				t.Fatalf("resume at event %d: stream ended at event %d (err %v)", start, i, re.Err())
+			}
+			if ev != all[i] {
+				t.Fatalf("resume at event %d: event %d = %+v, want %+v", start, i, ev, all[i])
+			}
+		}
+		if re.Next(&ev) {
+			t.Fatalf("resume at event %d: decoded past the recorded stream", start)
+		}
+		if err := re.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEventCursorAtRejectsBadOffsets pins the range check: offsets
+// outside the event stream fail through Err rather than panicking.
+func TestEventCursorAtRejectsBadOffsets(t *testing.T) {
+	tr := recordBench(t, "gzip", 1000)
+	for _, off := range []int{-1, len(tr.Events) + 1} {
+		c := tr.EventCursorAt(off)
+		var ev Event
+		if c.Next(&ev) {
+			t.Fatalf("offset %d: Next succeeded on out-of-range cursor", off)
+		}
+		if c.Err() == nil {
+			t.Fatalf("offset %d: want range error", off)
+		}
+	}
+}

@@ -35,6 +35,7 @@ const (
 	PhaseFrontend    = obs.PhaseFrontend
 	PhaseEngine      = obs.PhaseEngine
 	PhasePipeline    = obs.PhasePipeline
+	PhaseSegment     = obs.PhaseSegment
 	PhaseSink        = obs.PhaseSink
 )
 
@@ -85,6 +86,7 @@ func NewObserverWithClock(now func() int64) *Observer {
 			PhaseFrontend:    r.Histogram("span.frontend.ns"),
 			PhaseEngine:      r.Histogram("span.engine.ns"),
 			PhasePipeline:    r.Histogram("span.pipeline.ns"),
+			PhaseSegment:     r.Histogram("span.segment.ns"),
 			PhaseSink:        r.Histogram("span.sink.ns"),
 		},
 	}

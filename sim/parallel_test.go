@@ -1,0 +1,226 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/sim"
+)
+
+// runExperiment builds and runs one trace-mode experiment over gzip+vpr
+// with the given extra options, returning results in matrix order.
+func runExperiment(t *testing.T, dir string, extra ...sim.Option) []sim.Result {
+	t.Helper()
+	wl, err := sim.PrepareWorkload([]string{"gzip", "vpr"}, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]sim.Option{
+		sim.WithWorkload(wl),
+		sim.WithSchemes("conventional", "predpred", "peppa"),
+		sim.WithCommits(60000),
+		sim.WithMode(sim.ModeTrace),
+		sim.WithTraceDir(dir),
+	}, extra...)
+	exp, err := sim.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestExperimentParallelReplayMatchesSerial: an experiment run with
+// WithReplayParallelism must produce statistics bit-identical to the
+// same experiment run serially, for every cell.
+func TestExperimentParallelReplayMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	serial := runExperiment(t, dir)
+	par := runExperiment(t, dir,
+		sim.WithReplayParallelism(4),
+		sim.WithReplayWarmup(1500),
+	)
+	if len(par) != len(serial) || len(serial) == 0 {
+		t.Fatalf("got %d parallel results, want %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i].Err != nil || serial[i].Err != nil {
+			t.Fatalf("cell %d errors: serial %v, parallel %v", i, serial[i].Err, par[i].Err)
+		}
+		if !reflect.DeepEqual(par[i].Stats, serial[i].Stats) {
+			t.Errorf("%s/%s: parallel replay diverged from serial\nserial:   %+v\nparallel: %+v",
+				par[i].Bench, par[i].Scheme, serial[i].Stats, par[i].Stats)
+		}
+	}
+}
+
+// TestReplaySessionParallelMatchesOneShot drives the amortized path:
+// the first Replay of a parallel session runs the checkpoint-capturing
+// build pass, subsequent Replays run checkpointed segments on the
+// worker pool — and every one must be bit-identical to a one-shot
+// serial SimulateProgramSchemes of the same program.
+func TestReplaySessionParallelMatchesOneShot(t *testing.T) {
+	dir := t.TempDir()
+	prog, err := sim.BuildBenchmark("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []string{"conventional", "predpred", "peppa"}
+	serial, err := sim.SimulateProgramSchemes(context.Background(), sim.ProgramRun{
+		Program: prog, Mode: sim.ModeTrace, Commits: 60000, TraceDir: dir,
+	}, schemes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sim.NewReplaySession(context.Background(), sim.ProgramRun{
+		Program: prog, Commits: 60000, TraceDir: dir,
+		ReplayWorkers: 4, ReplayWarmup: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Steps() == 0 {
+		t.Fatal("session trace records no steps")
+	}
+	for round := 0; round < 3; round++ { // 0: build pass, 1-2: parallel segment replay
+		got, err := sess.Replay(context.Background(), schemes...)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("round %d: %d results, want %d", round, len(got), len(serial))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Stats, serial[i].Stats) {
+				t.Errorf("round %d, %s: session replay diverged from one-shot serial", round, schemes[i])
+			}
+		}
+	}
+}
+
+// TestParallelReplayManifestSegmentPhase checks the telemetry shape of
+// parallel replay: cells carry one segment-phase wall span (decode,
+// frontend and engine interleave across workers, so no per-phase split
+// exists) with a throughput figure derived from it, and the segment
+// span histogram fills.
+func TestParallelReplayManifestSegmentPhase(t *testing.T) {
+	o := sim.NewObserverWithClock(fakeClock(9))
+	runExperiment(t, t.TempDir(),
+		sim.WithReplayParallelism(2),
+		sim.WithParallelism(1),
+		sim.WithObserver(o),
+	)
+	ms := o.Manifests()
+	if len(ms) != 6 { // 2 benches x 3 schemes
+		t.Fatalf("got %d manifests, want 6", len(ms))
+	}
+	for i, m := range ms {
+		if m.PhasesNS[sim.PhaseSegment] <= 0 {
+			t.Errorf("manifest %d: segment phase absent from %v", i, m.PhasesNS)
+		}
+		for _, phase := range []string{sim.PhaseDecode, sim.PhaseFrontend, sim.PhaseEngine} {
+			if _, ok := m.PhasesNS[phase]; ok {
+				t.Errorf("manifest %d: parallel replay should not report a %s phase", i, phase)
+			}
+		}
+		if m.Committed == 0 || m.InstrsPerSec <= 0 {
+			t.Errorf("manifest %d: committed %d, instrs/s %v", i, m.Committed, m.InstrsPerSec)
+		}
+		if len(m.GroupSchemes) != 3 {
+			t.Errorf("manifest %d: group schemes %v, want all three", i, m.GroupSchemes)
+		}
+	}
+	if h, ok := o.Metrics().HistogramValue("span.segment.ns"); !ok || h.Count != 2 {
+		t.Errorf("segment span observed %d times, want one per trace group", h.Count)
+	}
+}
+
+// parallelEmission runs one observed parallel-replay experiment with an
+// injected clock and returns the exact bytes of its manifest stream,
+// metrics snapshot and JSON result sink.
+func parallelEmission(t *testing.T, dir string, workers int) (manifests, metrics, results []byte) {
+	t.Helper()
+	o := sim.NewObserverWithClock(fakeClock(11))
+	rs := runExperiment(t, dir,
+		sim.WithReplayParallelism(workers),
+		sim.WithReplayWarmup(1000),
+		sim.WithParallelism(1),
+		sim.WithObserver(o),
+	)
+	var nbuf, mbuf, rbuf bytes.Buffer
+	if err := o.WriteManifests(&nbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Metrics().WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.EmitAll(sim.NewJSONSink(&rbuf), rs); err != nil {
+		t.Fatal(err)
+	}
+	return nbuf.Bytes(), mbuf.Bytes(), rbuf.Bytes()
+}
+
+// TestParallelReplayByteIdenticalAcrossWorkerCounts is the determinism
+// contract for the worker pool: with an injected clock and a warmed
+// trace cache, the manifest stream, metrics snapshot and result sink
+// bytes must not depend on the segment-replay worker count. CI runs
+// this leg under GOMAXPROCS=1 as well.
+func TestParallelReplayByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	dir := t.TempDir()
+	parallelEmission(t, dir, 2) // warm the trace cache → later runs all see "hit"
+	n2, m2, r2 := parallelEmission(t, dir, 2)
+	n8, m8, r8 := parallelEmission(t, dir, 8)
+	if len(n2) == 0 || len(m2) == 0 || len(r2) == 0 {
+		t.Fatal("observed parallel run emitted no output")
+	}
+	if !bytes.Equal(n2, n8) {
+		t.Errorf("manifest stream depends on worker count:\n2 workers:\n%s\n8 workers:\n%s", n2, n8)
+	}
+	if !bytes.Equal(m2, m8) {
+		t.Errorf("metrics snapshot depends on worker count:\n2 workers:\n%s\n8 workers:\n%s", m2, m8)
+	}
+	if !bytes.Equal(r2, r8) {
+		t.Errorf("result sink bytes depend on worker count:\n2 workers:\n%s\n8 workers:\n%s", r2, r8)
+	}
+}
+
+// TestParallelReplayOptionValidation pins the construction-time guards:
+// negative worker counts fail at option time, parallel replay without
+// trace mode fails at New, and a pipeline-mode ProgramRun with workers
+// fails at SimulateProgram.
+func TestParallelReplayOptionValidation(t *testing.T) {
+	if _, err := sim.New(sim.WithSchemes("predpred"), sim.WithReplayParallelism(-1)); err == nil {
+		t.Error("negative replay parallelism should fail at New")
+	}
+	if _, err := sim.New(sim.WithSchemes("predpred"), sim.WithReplayParallelism(4)); err == nil {
+		t.Error("replay parallelism without ModeTrace should fail at New")
+	}
+	if _, err := sim.New(
+		sim.WithSchemes("predpred"),
+		sim.WithMode(sim.ModeTrace),
+		sim.WithSuite("gzip"),
+		sim.WithReplayParallelism(4),
+	); err != nil {
+		t.Errorf("trace-mode replay parallelism rejected: %v", err)
+	}
+	prog, err := sim.BuildBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.SimulateProgram(context.Background(), sim.ProgramRun{
+		Program: prog, Scheme: "predpred", Commits: 1000, ReplayWorkers: 4,
+	})
+	if err == nil {
+		t.Error("pipeline-mode ProgramRun with ReplayWorkers should fail")
+	}
+	if _, err := sim.NewReplaySession(context.Background(), sim.ProgramRun{
+		Program: prog, Mode: sim.ModePipeline,
+	}); err == nil {
+		t.Error("pipeline-mode ReplaySession should fail")
+	}
+}

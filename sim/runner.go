@@ -375,7 +375,7 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 		for i := range out {
 			out[i].Err = err
 		}
-		e.observeTraceGroup(traces, j, meta, out, nil, nil)
+		e.observeTraceGroup(traces, j, meta, out, nil, nil, -1)
 		return out, true
 	}
 	var cfgs []Config
@@ -395,12 +395,25 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 		live = append(live, i)
 	}
 	var tm *stats.Timings
+	segNS := int64(-1)
 	if len(cfgs) > 0 {
 		var sts []pipeline.Stats
 		var err error
-		if o := e.observer; o != nil {
+		o := e.observer
+		switch {
+		case e.replayWorkers > 1:
+			// Parallel segment replay: a single wall-clock span covers the
+			// whole group (the per-phase decode/frontend/engine split does
+			// not exist when segments interleave across workers).
+			t0 := o.now()
+			sts, err = sess.ReplayAllParallel(ctx, cfgs, e.commits, stats.ParallelOptions{
+				Workers:      e.replayWorkers,
+				WarmupInstrs: e.replayWarmup,
+			})
+			segNS = o.now() - t0
+		case o != nil:
 			sts, tm, err = sess.ReplayAllTimed(ctx, cfgs, e.commits, o.clock)
-		} else {
+		default:
 			sts, err = sess.ReplayAll(ctx, cfgs, e.commits)
 		}
 		if canceled(err) {
@@ -414,7 +427,7 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 			out[i].Stats = sts[k]
 		}
 	}
-	e.observeTraceGroup(traces, j, meta, out, live, tm)
+	e.observeTraceGroup(traces, j, meta, out, live, tm, segNS)
 	return out, true
 }
 
@@ -423,8 +436,12 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 // manifest per cell. The shared decode and frontend costs are
 // attributed evenly across the live cells in each manifest (the group
 // totals are recoverable via GroupSchemes), while engine time is
-// exact per cell. No-op without an observer.
-func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta manifestMeta, out []Result, live []int, tm *stats.Timings) {
+// exact per cell. Parallel segment replay has no per-phase split —
+// segments interleave decode, frontend and engine work across workers —
+// so those groups carry one segment span (segNS, -1 when absent) whose
+// wall time is shared evenly across the live cells. No-op without an
+// observer.
+func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta manifestMeta, out []Result, live []int, tm *stats.Timings, segNS int64) {
 	o := e.observer
 	if o == nil {
 		return
@@ -437,12 +454,16 @@ func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta man
 			group[k] = j.schemes[i]
 		}
 	}
-	var decodeShare, frontendShare int64
+	var decodeShare, frontendShare, segShare int64
 	if tm != nil && len(live) > 0 {
 		o.span(PhaseDecode, tm.DecodeNS)
 		o.span(PhaseFrontend, tm.FrontendNS)
 		decodeShare = tm.DecodeNS / int64(len(live))
 		frontendShare = tm.FrontendNS / int64(len(live))
+	}
+	if segNS >= 0 && len(live) > 0 {
+		o.span(PhaseSegment, segNS)
+		segShare = segNS / int64(len(live))
 	}
 	liveIdx := make(map[int]int, len(live)) // out index -> cfgs position
 	for k, i := range live {
@@ -452,15 +473,21 @@ func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta man
 		m := e.cellManifest(j, i, meta, out[i])
 		m.Cache = outcome
 		m.GroupSchemes = group
-		if k, ok := liveIdx[i]; ok && tm != nil {
-			engineNS := tm.EngineNS[k]
-			o.span(PhaseEngine, engineNS)
-			m.PhasesNS = map[string]int64{
-				PhaseDecode:   decodeShare,
-				PhaseFrontend: frontendShare,
-				PhaseEngine:   engineNS,
+		if k, ok := liveIdx[i]; ok {
+			switch {
+			case tm != nil:
+				engineNS := tm.EngineNS[k]
+				o.span(PhaseEngine, engineNS)
+				m.PhasesNS = map[string]int64{
+					PhaseDecode:   decodeShare,
+					PhaseFrontend: frontendShare,
+					PhaseEngine:   engineNS,
+				}
+				m.InstrsPerSec = instrsPerSec(out[i].Stats.Committed, engineNS+decodeShare+frontendShare)
+			case segNS >= 0:
+				m.PhasesNS = map[string]int64{PhaseSegment: segShare}
+				m.InstrsPerSec = instrsPerSec(out[i].Stats.Committed, segShare)
 			}
-			m.InstrsPerSec = instrsPerSec(out[i].Stats.Committed, engineNS+decodeShare+frontendShare)
 		}
 		o.emit(m)
 		o.finishRun(out[i].Err)
@@ -546,9 +573,22 @@ type ProgramRun struct {
 	Mutate  func(*Config) // optional configuration adjustment
 	// TraceDir overrides the trace cache directory for ModeTrace.
 	TraceDir string
+	// ReplayWorkers, when > 1, replays the trace in checkpointed
+	// segments on that many workers (ModeTrace only; merged statistics
+	// are bit-identical to serial replay). 0 or 1 means serial.
+	ReplayWorkers int
+	// ReplayWarmup is the per-segment warm-up window in committed
+	// instructions for parallel replay (see WithReplayWarmup).
+	ReplayWarmup uint64
 	// Observer, when non-nil, collects phase spans and a run manifest
 	// per result, exactly as WithObserver does for experiments.
 	Observer *Observer
+}
+
+// parallelOptions packages the run's parallel-replay knobs for the
+// stats layer.
+func (r ProgramRun) parallelOptions() stats.ParallelOptions {
+	return stats.ParallelOptions{Workers: r.ReplayWorkers, WarmupInstrs: r.ReplayWarmup}
 }
 
 // programManifest is the ProgramRun counterpart of cellManifest.
@@ -591,6 +631,15 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	}
 	if r.Mode == ModeTrace {
 		out.Mode = ModeTrace
+		if r.ReplayWorkers > 1 {
+			// Parallel segment replay shares the multi-scheme group path
+			// (one scheme is just a group of one).
+			rs, err := SimulateProgramSchemes(ctx, r, r.Scheme)
+			if len(rs) == 1 {
+				out = rs[0]
+			}
+			return out, err
+		}
 		o := r.Observer
 		tr, outcome, err := recordProgramTrace(ctx, r)
 		if err != nil {
@@ -625,6 +674,9 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 	}
 	if r.Mode != 0 && r.Mode != ModePipeline {
 		return out, fmt.Errorf("sim: program run wants a single mode, got %v", r.Mode)
+	}
+	if r.ReplayWorkers > 1 {
+		return out, fmt.Errorf("sim: parallel replay (ReplayWorkers=%d) is trace-mode only", r.ReplayWorkers)
 	}
 	out.Mode = ModePipeline
 	o := r.Observer
@@ -677,6 +729,20 @@ func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string
 	if r.Mode != ModeTrace {
 		return nil, fmt.Errorf("sim: single-pass multi-scheme replay is trace-mode only, got %v", r.Mode)
 	}
+	tr, outcome, err := recordProgramTrace(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return replaySchemeGroup(ctx, r, stats.NewSession(tr), outcome, schemes)
+}
+
+// replaySchemeGroup replays one recorded trace through every scheme's
+// configuration — serially in lockstep over a shared cursor, or (when
+// r.ReplayWorkers > 1) as parallel checkpointed segments — and emits
+// per-cell telemetry. Shared by SimulateProgramSchemes (one-shot
+// session) and ReplaySession.Replay (reused session, amortized build
+// pass).
+func replaySchemeGroup(ctx context.Context, r ProgramRun, sess *stats.Session, outcome string, schemes []string) ([]ProgramResult, error) {
 	cfgs := make([]Config, len(schemes))
 	for i, s := range schemes {
 		cfg, err := schemeConfig(s)
@@ -688,50 +754,65 @@ func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string
 		}
 		cfgs[i] = cfg
 	}
-	tr, outcome, err := recordProgramTrace(ctx, r)
-	if err != nil {
-		return nil, err
-	}
 	o := r.Observer
 	var sts []pipeline.Stats
 	var tm *stats.Timings
-	if o != nil {
-		sts, tm, err = stats.ReplayAllTimed(ctx, cfgs, tr, r.Commits, o.clock)
-	} else {
-		sts, err = stats.ReplayAll(ctx, cfgs, tr, r.Commits)
+	var err error
+	segNS := int64(-1)
+	switch {
+	case r.ReplayWorkers > 1:
+		t0 := o.now()
+		sts, err = sess.ReplayAllParallel(ctx, cfgs, r.Commits, r.parallelOptions())
+		if o != nil {
+			segNS = o.now() - t0
+		}
+	case o != nil:
+		sts, tm, err = sess.ReplayAllTimed(ctx, cfgs, r.Commits, o.clock)
+	default:
+		sts, err = sess.ReplayAll(ctx, cfgs, r.Commits)
 	}
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ProgramResult, len(schemes))
-	var decodeShare, frontendShare int64
+	var decodeShare, frontendShare, segShare int64
 	if tm != nil {
 		o.span(PhaseDecode, tm.DecodeNS)
 		o.span(PhaseFrontend, tm.FrontendNS)
 		decodeShare = tm.DecodeNS / int64(len(schemes))
 		frontendShare = tm.FrontendNS / int64(len(schemes))
 	}
+	if segNS >= 0 {
+		o.span(PhaseSegment, segNS)
+		segShare = segNS / int64(len(schemes))
+	}
 	for i := range out {
 		out[i].Bench = r.Program.Name
 		out[i].Scheme = schemes[i]
 		out[i].Mode = ModeTrace
 		out[i].Stats = sts[i]
+		if tm == nil && segNS < 0 {
+			continue
+		}
+		m := r.manifest(i, schemes[i], ModeTrace, sts[i])
+		m.Cache = outcome
+		if len(schemes) > 1 {
+			m.GroupSchemes = append([]string(nil), schemes...)
+		}
 		if tm != nil {
 			o.span(PhaseEngine, tm.EngineNS[i])
-			m := r.manifest(i, schemes[i], ModeTrace, sts[i])
-			m.Cache = outcome
-			if len(schemes) > 1 {
-				m.GroupSchemes = append([]string(nil), schemes...)
-			}
 			m.PhasesNS = map[string]int64{
 				PhaseDecode:   decodeShare,
 				PhaseFrontend: frontendShare,
 				PhaseEngine:   tm.EngineNS[i],
 			}
 			m.InstrsPerSec = instrsPerSec(sts[i].Committed, tm.EngineNS[i]+decodeShare+frontendShare)
-			o.emit(m)
-			o.finishRun(nil)
+		} else {
+			m.PhasesNS = map[string]int64{PhaseSegment: segShare}
+			m.InstrsPerSec = instrsPerSec(sts[i].Committed, segShare)
 		}
+		o.emit(m)
+		o.finishRun(nil)
 	}
 	return out, nil
 }
