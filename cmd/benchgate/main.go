@@ -22,6 +22,17 @@
 // replay to actually beat serial on CI's multi-core runners:
 //
 //	benchgate -new BENCH_trace.json -metric parallel -min 1.25
+//
+// -metric repeats, so one invocation gates every metric CI cares
+// about; a per-metric ":min=F" suffix puts that metric in floor mode
+// while the rest compare against the baseline:
+//
+//	benchgate -old committed.json -new BENCH_trace.json \
+//	    -metric speedup -metric parallel:min=1.25 -metric sweep:min=1.5
+//
+// -metric sweep gates the warm-started sweep's within-run speedup over
+// a cold sweep of the same grid (sweep_warm_speedup), machine-
+// independent like parallel.
 package main
 
 import (
@@ -31,6 +42,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // benchDoc mirrors the layout bench_test.go's writeTraceBenchJSON
@@ -40,6 +53,8 @@ type benchDoc struct {
 	InstrsPerSecond map[string]map[string]float64 `json:"instrs_per_second"`
 	Speedup         map[string]float64            `json:"trace_mode_speedup"`
 	Parallel        map[string]float64            `json:"parallel_replay_speedup"`
+	SweepIPS        map[string]float64            `json:"sweep_ips"`          // "cold"/"warm" → replayed instrs/s across the sweep
+	SweepWarm       map[string]float64            `json:"sweep_warm_speedup"` // within-run warm-vs-cold sweep wall-clock ratio
 }
 
 // series flattens the document's chosen metric into comparable
@@ -63,6 +78,10 @@ func (d benchDoc) series(metric string) map[string]float64 {
 	case "parallel":
 		for workers, v := range d.Parallel {
 			out[workers] = v
+		}
+	case "sweep":
+		for k, v := range d.SweepWarm {
+			out[k] = v
 		}
 	}
 	return out
@@ -162,6 +181,55 @@ func compare(old, fresh benchDoc, metric string, tol float64) (comparison, error
 	return c, nil
 }
 
+// gateSpec is one -metric occurrence: a metric name, optionally pinned
+// to floor mode by a ":min=F" suffix (min 0 = baseline comparison).
+type gateSpec struct {
+	metric string
+	min    float64
+}
+
+// gateList collects repeated -metric flags.
+type gateList []gateSpec
+
+func (g *gateList) String() string {
+	parts := make([]string, len(*g))
+	for i, s := range *g {
+		parts[i] = s.metric
+		if s.min > 0 {
+			parts[i] = fmt.Sprintf("%s:min=%g", s.metric, s.min)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateList) Set(v string) error {
+	name, opt, hasOpt := strings.Cut(v, ":")
+	spec := gateSpec{metric: name}
+	if !validMetrics[name] {
+		return fmt.Errorf("metric %q must be ips, speedup, parallel or sweep", name)
+	}
+	if hasOpt {
+		val, ok := strings.CutPrefix(opt, "min=")
+		if !ok {
+			return fmt.Errorf(`metric option %q is not "min=F"`, opt)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return fmt.Errorf("metric floor %q is not a positive number", val)
+		}
+		spec.min = f
+	}
+	for _, prev := range *g {
+		if prev.metric == spec.metric {
+			return fmt.Errorf("metric %q given twice", name)
+		}
+	}
+	*g = append(*g, spec)
+	return nil
+}
+
+var validMetrics = map[string]bool{"ips": true, "speedup": true, "parallel": true, "sweep": true}
+
 func load(path string) (benchDoc, error) {
 	var d benchDoc
 	raw, err := os.ReadFile(path)
@@ -178,83 +246,104 @@ func load(path string) (benchDoc, error) {
 }
 
 func main() {
+	var gates gateList
 	var (
-		oldPath = flag.String("old", "", "committed benchmark JSON (the baseline; unused with -min)")
+		oldPath = flag.String("old", "", "committed benchmark JSON (the baseline; unused when every metric has a floor)")
 		newPath = flag.String("new", "BENCH_trace.json", "freshly generated benchmark JSON")
-		metric  = flag.String("metric", "ips", "what to gate: ips (absolute instrs/s; like hardware only), speedup (trace/pipeline ratio; machine-independent) or parallel (parallel-vs-serial replay ratio)")
 		tol     = flag.Float64("tol", 0.30, "relative tolerance band around the baseline")
-		min     = flag.Float64("min", 0, "floor mode: gate the fresh document alone, requiring every series value of the metric to be at least this (0 = baseline comparison)")
+		min     = flag.Float64("min", 0, `floor mode for a single -metric: gate the fresh document alone, requiring every series value to be at least this (0 = baseline comparison; the repeatable "name:min=F" form supersedes this)`)
 	)
+	flag.Var(&gates, "metric", `what to gate, repeatable: ips (absolute instrs/s; like hardware only), speedup (trace/pipeline ratio), parallel (parallel-vs-serial replay ratio) or sweep (warm-vs-cold sweep ratio); "name:min=F" gates that metric against an absolute floor instead of the baseline`)
 	flag.Parse()
-	if *metric != "ips" && *metric != "speedup" && *metric != "parallel" {
-		fmt.Fprintf(os.Stderr, "benchgate: -metric %q must be ips, speedup or parallel\n", *metric)
-		os.Exit(2)
+	if len(gates) == 0 {
+		gates = gateList{{metric: "ips"}}
 	}
 	if *min < 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: -min %v must be positive\n", *min)
 		os.Exit(2)
 	}
 	if *min > 0 {
-		fresh, err := load(*newPath)
-		if err != nil {
-			fatal(err)
+		if len(gates) != 1 {
+			fmt.Fprintln(os.Stderr, `benchgate: -min applies to a single -metric; use per-metric "name:min=F" floors instead`)
+			os.Exit(2)
 		}
-		below, err := floor(fresh, *metric, *min)
-		if err != nil {
-			fatal(err)
-		}
-		for _, b := range below {
-			fmt.Printf("BELOW FLOOR      %s\n", b)
-		}
-		if len(below) > 0 {
-			fmt.Printf("benchgate: %d %s series below the %.4g floor\n", len(below), *metric, *min)
-			os.Exit(1)
-		}
-		fmt.Printf("benchgate: %d %s series at or above the %.4g floor\n",
-			len(fresh.series(*metric)), *metric, *min)
-		return
+		gates[0].min = *min
 	}
-	if *oldPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -old is required (or use -min for floor mode)")
-		os.Exit(2)
+	needBaseline := false
+	for _, g := range gates {
+		if g.min == 0 {
+			needBaseline = true
+		}
 	}
-	if *tol <= 0 || *tol >= 1 {
-		fmt.Fprintf(os.Stderr, "benchgate: -tol %v must be in (0, 1)\n", *tol)
-		os.Exit(2)
-	}
-	old, err := load(*oldPath)
-	if err != nil {
-		fatal(err)
+	if needBaseline {
+		if *oldPath == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -old is required (or give every -metric a floor)")
+			os.Exit(2)
+		}
+		if *tol <= 0 || *tol >= 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: -tol %v must be in (0, 1)\n", *tol)
+			os.Exit(2)
+		}
 	}
 	fresh, err := load(*newPath)
 	if err != nil {
 		fatal(err)
 	}
-	c, err := compare(old, fresh, *metric, *tol)
-	if err != nil {
-		fatal(err)
-	}
-	for _, m := range c.missing {
-		fmt.Printf("MISSING          %s\n", m)
-	}
-	for _, m := range c.invalid {
-		fmt.Printf("INVALID BASELINE %s\n", m)
-	}
-	for _, d := range c.drifts {
-		verdict := "REGRESSION"
-		if d.Ratio > 1 {
-			verdict = "STALE BASELINE"
+	var old benchDoc
+	if needBaseline {
+		if old, err = load(*oldPath); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%-16s %-24s %.4g -> %.4g %s (%.2fx, tolerance ±%.0f%%)\n",
-			verdict, d.Key, d.Old, d.New, *metric, d.Ratio, *tol*100)
 	}
-	if c.failed() {
-		fmt.Printf("benchgate: %d drift(s), %d missing series, %d invalid baseline(s)\n",
-			len(c.drifts), len(c.missing), len(c.invalid))
+	failed := false
+	for _, g := range gates {
+		if g.min > 0 {
+			below, err := floor(fresh, g.metric, g.min)
+			if err != nil {
+				fatal(err)
+			}
+			for _, b := range below {
+				fmt.Printf("BELOW FLOOR      %s\n", b)
+			}
+			if len(below) > 0 {
+				failed = true
+				fmt.Printf("benchgate: %d %s series below the %.4g floor\n", len(below), g.metric, g.min)
+			} else {
+				fmt.Printf("benchgate: %d %s series at or above the %.4g floor\n",
+					len(fresh.series(g.metric)), g.metric, g.min)
+			}
+			continue
+		}
+		c, err := compare(old, fresh, g.metric, *tol)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range c.missing {
+			fmt.Printf("MISSING          %s\n", m)
+		}
+		for _, m := range c.invalid {
+			fmt.Printf("INVALID BASELINE %s\n", m)
+		}
+		for _, d := range c.drifts {
+			verdict := "REGRESSION"
+			if d.Ratio > 1 {
+				verdict = "STALE BASELINE"
+			}
+			fmt.Printf("%-16s %-24s %.4g -> %.4g %s (%.2fx, tolerance ±%.0f%%)\n",
+				verdict, d.Key, d.Old, d.New, g.metric, d.Ratio, *tol*100)
+		}
+		if c.failed() {
+			failed = true
+			fmt.Printf("benchgate: %s: %d drift(s), %d missing series, %d invalid baseline(s)\n",
+				g.metric, len(c.drifts), len(c.missing), len(c.invalid))
+		} else {
+			fmt.Printf("benchgate: %d %s series within ±%.0f%% of %s\n",
+				len(old.series(g.metric)), g.metric, *tol*100, *oldPath)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d %s series within ±%.0f%% of %s\n",
-		len(old.series(*metric)), *metric, *tol*100, *oldPath)
 }
 
 func fatal(err error) {

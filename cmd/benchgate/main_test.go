@@ -239,6 +239,62 @@ func TestFloorMode(t *testing.T) {
 	}
 }
 
+// TestGateListParsing is the table for the repeatable -metric flag:
+// bare names, per-metric ":min=F" floors, and the rejection set
+// (unknown metrics, duplicates, malformed options and floors).
+func TestGateListParsing(t *testing.T) {
+	var g gateList
+	for _, v := range []string{"speedup", "parallel:min=1.25", "sweep:min=1.5"} {
+		if err := g.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	want := gateList{{metric: "speedup"}, {metric: "parallel", min: 1.25}, {metric: "sweep", min: 1.5}}
+	if len(g) != len(want) {
+		t.Fatalf("parsed %d specs, want %d", len(g), len(want))
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, g[i], want[i])
+		}
+	}
+	if s := g.String(); s != "speedup,parallel:min=1.25,sweep:min=1.5" {
+		t.Errorf("String() = %q", s)
+	}
+	for _, bad := range []string{
+		"nosuch", "speedup:max=2", "sweep:min=", "sweep:min=zero",
+		"sweep:min=0", "sweep:min=-1", "speedup", // duplicate of the first Set
+	} {
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q) should fail", bad)
+		}
+	}
+}
+
+// TestSweepMetric pins the warm-start gate: -metric sweep reads only
+// sweep_warm_speedup, floors apply to it, and an absent series errors
+// instead of passing trivially.
+func TestSweepMetric(t *testing.T) {
+	d := doc(map[string]float64{"conventional": 1e6}, map[string]float64{"conventional": 4e7})
+	d.SweepIPS = map[string]float64{"cold": 2e7, "warm": 5e7}
+	d.SweepWarm = map[string]float64{"warm_vs_cold": 2.4}
+	if got := d.series("sweep"); len(got) != 1 || got["warm_vs_cold"] != 2.4 {
+		t.Fatalf("sweep series = %v", got)
+	}
+	if below, err := floor(d, "sweep", 1.5); err != nil || len(below) != 0 {
+		t.Fatalf("healthy sweep speedup should clear a 1.5 floor: below=%v err=%v", below, err)
+	}
+	d.SweepWarm["warm_vs_cold"] = 1.2
+	below, err := floor(d, "sweep", 1.5)
+	if err != nil || len(below) != 1 || !strings.Contains(below[0], "warm_vs_cold") {
+		t.Fatalf("collapsed sweep speedup should be below the floor: below=%v err=%v", below, err)
+	}
+	d.SweepWarm = nil
+	if _, err := floor(d, "sweep", 1.5); err == nil {
+		t.Fatal("absent sweep series should be an error")
+	}
+}
+
 // TestCompareSpeedupMetric pins the machine-independent gate CI uses:
 // only trace_mode_speedup ratios are compared, so absolute instrs/s
 // drift (a slower runner) is invisible while a collapsed speedup is

@@ -57,6 +57,8 @@ func main() {
 		par       = flag.Int("p", 0, "point worker parallelism (0 = GOMAXPROCS)")
 		replayW   = flag.Int("replay-workers", 0, "trace mode only: replay checkpointed trace segments on this many workers (0/1 = serial; results bit-identical)")
 		replayWu  = flag.Uint64("replay-warmup", 0, "parallel replay: per-segment warm-up window in committed instructions")
+		feCache   = flag.String("frontend-cache", "", `trace mode only: cache frontend artifacts in this directory ("auto" = PREDSIM_FRONTEND_DIR or the user cache dir; empty = live frontend)`)
+		warmStart = flag.Bool("warm-start", false, "trace mode only: order points by knob-edit distance and reuse replay statistics across points differing only in carryover knobs (results byte-identical; see -knobs)")
 		summary   = flag.Bool("summary", true, "print best point and per-axis marginals to stderr")
 		verbose   = flag.Bool("v", false, "print a throttled progress heartbeat (point, elapsed, ETA) to stderr")
 		knobs     = flag.Bool("knobs", false, "list the registered sweep knobs and exit")
@@ -69,7 +71,11 @@ func main() {
 
 	if *knobs {
 		for _, k := range sim.Knobs() {
-			fmt.Printf("%-20s %s\n", k.Name, k.Doc)
+			tag := ""
+			if k.Carryover {
+				tag = "  [carryover: timing-only, warm-start reusable]"
+			}
+			fmt.Printf("%-20s %s%s\n", k.Name, k.Doc, tag)
 		}
 		return
 	}
@@ -102,6 +108,13 @@ func main() {
 	if *replayW > 1 && m != sim.ModeTrace {
 		fatal(fmt.Errorf("-replay-workers %d needs -mode trace (parallel replay has no pipeline counterpart)", *replayW))
 	}
+	if *feCache != "" {
+		dir := *feCache
+		if dir == "auto" {
+			dir = "" // WithFrontendCache resolves the default directory
+		}
+		opts = append(opts, sim.WithFrontendCache(dir))
+	}
 	if *verbose {
 		opts = append(opts, sim.WithProgress(heartbeat(os.Stderr)))
 	}
@@ -114,12 +127,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sweepOpts := make([]sim.SweepOption, 0, len(axes)+1)
+	sweepOpts := make([]sim.SweepOption, 0, len(axes)+2)
 	for _, ax := range axes {
 		sweepOpts = append(sweepOpts, sim.WithAxis(ax.name, ax.values...))
 	}
 	if *sample > 0 {
 		sweepOpts = append(sweepOpts, sim.WithSample(*sample, *seed))
+	}
+	if *warmStart {
+		if m != sim.ModeTrace {
+			fatal(fmt.Errorf("-warm-start needs -mode trace (warm starts reuse replay statistics)"))
+		}
+		sweepOpts = append(sweepOpts, sim.WithWarmStart(true))
 	}
 	sw, err := sim.NewSweep(exp, sweepOpts...)
 	if err != nil {

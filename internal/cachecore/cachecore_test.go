@@ -1,0 +1,117 @@
+package cachecore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDefaultDirPrecedence pins the resolution order: env override
+// first, then the user cache dir, then the per-UID temp fallback.
+func TestDefaultDirPrecedence(t *testing.T) {
+	const env = "CACHECORE_TEST_DIR"
+	t.Setenv(env, "/explicit/override")
+	if d := DefaultDir(env, "things", "stem"); d != "/explicit/override" {
+		t.Fatalf("env override ignored: %q", d)
+	}
+	t.Setenv(env, "")
+	d := DefaultDir(env, "things", "stem")
+	if ucd, err := os.UserCacheDir(); err == nil {
+		want := filepath.Join(ucd, "predsim", "things")
+		if d != want {
+			t.Fatalf("user-cache default = %q, want %q", d, want)
+		}
+	} else {
+		want := filepath.Join(os.TempDir(), fmt.Sprintf("stem-%d", os.Getuid()))
+		if d != want {
+			t.Fatalf("temp fallback = %q, want %q", d, want)
+		}
+	}
+}
+
+// TestKeyStability pins key properties: deterministic, magic- and
+// part-sensitive, and resistant to part-boundary shifts (the "ab","c"
+// vs "a","bc" collision a plain concatenation would allow).
+func TestKeyStability(t *testing.T) {
+	k := Key("MAGIC1", "a", "b")
+	if k != Key("MAGIC1", "a", "b") {
+		t.Fatal("key is not deterministic")
+	}
+	if len(k) != 32 || strings.ToLower(k) != k {
+		t.Fatalf("key %q is not 32 lowercase hex chars", k)
+	}
+	distinct := map[string]bool{
+		k:                       true,
+		Key("MAGIC2", "a", "b"): true,
+		Key("MAGIC1", "a", "c"): true,
+		Key("MAGIC1", "ab"):     true,
+		Key("MAGIC1", "a", ""):  true,
+	}
+	if len(distinct) != 5 {
+		t.Fatalf("key collisions across magic/part variations: %v", distinct)
+	}
+}
+
+// TestStoreRoundTrip covers the atomic write path: the entry lands at
+// Path under a 0700 directory, the temp file is gone, and the bytes
+// round-trip.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tier")
+	key := Key("MAGIC1", "entry")
+	payload := []byte("payload bytes")
+	err := Store(dir, key, ".ext", func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o700 {
+		t.Errorf("cache dir mode = %o, want 700", perm)
+	}
+	got, err := os.ReadFile(Path(dir, key, ".ext"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("round-trip mismatch: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestStoreWriteFailureLeavesNoEntry proves a failed write never
+// replaces (or creates) the cache entry and cleans up its temp file.
+func TestStoreWriteFailureLeavesNoEntry(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("MAGIC1", "entry")
+	boom := fmt.Errorf("write exploded")
+	err := Store(dir, key, ".ext", func(io.Writer) error { return boom })
+	if err == nil || !strings.Contains(err.Error(), "write exploded") {
+		t.Fatalf("want wrapped write error, got %v", err)
+	}
+	if _, err := os.Stat(Path(dir, key, ".ext")); !os.IsNotExist(err) {
+		t.Error("failed store left a cache entry behind")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed store left files behind: %v", entries)
+	}
+}

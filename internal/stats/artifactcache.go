@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cachecore"
+	"repro/internal/obs"
+)
+
+// Second-level content-addressed disk cache for frontend artifacts,
+// layered beside the trace cache (internal/trace/cache.go) on the
+// shared cachecore plumbing. Keys are derived from the same content
+// parts as trace keys plus the commit budget: a frontend pass is a
+// function of (trace, budget), so the artifact for every (spec hash,
+// budget) pair is recorded once per machine and reused across
+// processes, sweeps and CI runs.
+
+// ArtifactEnvDir is the environment variable overriding the default
+// on-disk frontend-artifact cache directory.
+const ArtifactEnvDir = "PREDSIM_FRONTEND_DIR"
+
+// ArtifactDefaultDir returns the frontend-artifact cache directory:
+// $PREDSIM_FRONTEND_DIR, else the user cache dir, else a per-UID
+// temp-dir fallback (see cachecore.DefaultDir).
+func ArtifactDefaultDir() string {
+	return cachecore.DefaultDir(ArtifactEnvDir, "frontends", "predsim-frontends")
+}
+
+// ArtifactKey derives a stable cache key from its parts (spec hash,
+// budget, binary variant — the caller decides). The artifact format
+// magic participates, so a format version bump invalidates every
+// cached artifact; any part changing changes the key.
+func ArtifactKey(parts ...string) string {
+	return cachecore.Key(noteMagic, parts...)
+}
+
+func artifactPath(dir, key string) string {
+	return cachecore.Path(dir, key, ".ppnotes")
+}
+
+// LoadArtifact reads a cached frontend artifact. A missing,
+// unreadable, corrupt or version-mismatched file is a cache miss
+// (nil, nil): the cache is advisory, never load-bearing — the caller
+// falls back to BuildArtifact (or to the live frontend). Hits and
+// misses count on the frontend.cache.* counters.
+func LoadArtifact(dir, key string) (*Artifact, error) {
+	f, err := os.Open(artifactPath(dir, key))
+	if err != nil {
+		artifactMisses.Inc()
+		return nil, nil
+	}
+	defer f.Close()
+	a, err := DecodeArtifact(f)
+	if err != nil {
+		artifactMisses.Inc()
+		return nil, nil
+	}
+	artifactHits.Inc()
+	artifactBytesRead.Add(uint64(len(a.Notes)))
+	return a, nil
+}
+
+// StoreArtifact writes an artifact into the cache atomically (temp
+// file + rename, 0700 directories — see cachecore.Store), so
+// concurrent writers and readers never see a torn file.
+func StoreArtifact(dir, key string, a *Artifact) error {
+	if err := cachecore.Store(dir, key, ".ppnotes", a.EncodeTo); err != nil {
+		return fmt.Errorf("stats: artifact %w", err)
+	}
+	artifactStores.Inc()
+	artifactBytesWritten.Add(uint64(len(a.Notes)))
+	return nil
+}
+
+// The frontend-artifact tier's process-global counters live on the
+// default obs registry, so any metrics snapshot of the process
+// includes them. Hot callers go through these pre-resolved pointers,
+// never through a registry lookup.
+var (
+	artifactHits         = obs.Default().Counter("frontend.cache.hits")
+	artifactMisses       = obs.Default().Counter("frontend.cache.misses")
+	artifactStores       = obs.Default().Counter("frontend.cache.stores")
+	artifactBuilds       = obs.Default().Counter("frontend.builds")
+	artifactBytesRead    = obs.Default().Counter("frontend.cache.bytes.read")
+	artifactBytesWritten = obs.Default().Counter("frontend.cache.bytes.written")
+)
+
+// ArtifactCounters is a point-in-time copy of the frontend-artifact
+// tier's process-global counters, mirroring trace.Counters: tests take
+// one before the action and diff after with Since.
+type ArtifactCounters struct {
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheStores  uint64
+	Builds       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// SnapshotArtifactCounters reads the current values of all
+// frontend-artifact counters.
+func SnapshotArtifactCounters() ArtifactCounters {
+	return ArtifactCounters{
+		CacheHits:    artifactHits.Load(),
+		CacheMisses:  artifactMisses.Load(),
+		CacheStores:  artifactStores.Load(),
+		Builds:       artifactBuilds.Load(),
+		BytesRead:    artifactBytesRead.Load(),
+		BytesWritten: artifactBytesWritten.Load(),
+	}
+}
+
+// Since returns the counter movement from start (an earlier snapshot)
+// to c. Counters are monotone, so each field is a plain difference.
+func (c ArtifactCounters) Since(start ArtifactCounters) ArtifactCounters {
+	return ArtifactCounters{
+		CacheHits:    c.CacheHits - start.CacheHits,
+		CacheMisses:  c.CacheMisses - start.CacheMisses,
+		CacheStores:  c.CacheStores - start.CacheStores,
+		Builds:       c.Builds - start.Builds,
+		BytesRead:    c.BytesRead - start.BytesRead,
+		BytesWritten: c.BytesWritten - start.BytesWritten,
+	}
+}

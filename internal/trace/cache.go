@@ -1,12 +1,10 @@
 package trace
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
+
+	"repro/internal/cachecore"
 )
 
 // EnvDir is the environment variable overriding the default on-disk
@@ -14,31 +12,23 @@ import (
 const EnvDir = "PREDSIM_TRACE_DIR"
 
 // DefaultDir returns the trace cache directory: $PREDSIM_TRACE_DIR,
-// else the user cache dir, else a temp-dir fallback. The directory is
-// not created until Store needs it. The temp-dir fallback is suffixed
-// with the UID: the temp dir is typically shared across users on
-// multi-user hosts, and an unsuffixed path would let one user's cache
-// (created 0700, see Store) block every other user's Store calls.
+// else the user cache dir, else a per-UID temp-dir fallback (see
+// cachecore.DefaultDir). The directory is not created until Store
+// needs it.
 func DefaultDir() string {
-	if d := os.Getenv(EnvDir); d != "" {
-		return d
-	}
-	if d, err := os.UserCacheDir(); err == nil {
-		return filepath.Join(d, "predsim", "traces")
-	}
-	return filepath.Join(os.TempDir(), fmt.Sprintf("predsim-traces-%d", os.Getuid()))
+	return cachecore.DefaultDir(EnvDir, "traces", "predsim-traces")
 }
 
 // Key derives a stable cache key from its parts (benchmark spec,
-// profile budget, binary variant, program hash, format version — the
-// caller decides). Any part changing changes the key.
+// profile budget, binary variant, program hash — the caller decides).
+// The trace format magic participates, so a format version bump
+// invalidates every cached trace; any part changing changes the key.
 func Key(parts ...string) string {
-	h := sha256.Sum256([]byte(magic + "\x00" + strings.Join(parts, "\x00")))
-	return hex.EncodeToString(h[:16])
+	return cachecore.Key(magic, parts...)
 }
 
 func cachePath(dir, key string) string {
-	return filepath.Join(dir, key+".pptrace")
+	return cachecore.Path(dir, key, ".pptrace")
 }
 
 // Load reads a cached trace. A missing or unreadable/corrupt file is a
@@ -62,29 +52,12 @@ func Load(dir, key string) (*Trace, error) {
 	return t, nil
 }
 
-// Store writes a trace into the cache atomically (temp file + rename),
-// so concurrent writers and readers never see a torn file. Cache
-// directories are created private (0700): traces reveal which
-// workloads a user runs, and nothing but this process needs to read
-// them.
+// Store writes a trace into the cache atomically (temp file + rename,
+// 0700 directories — see cachecore.Store), so concurrent writers and
+// readers never see a torn file.
 func Store(dir, key string, t *Trace) error {
-	if err := os.MkdirAll(dir, 0o700); err != nil {
-		return fmt.Errorf("trace: cache dir: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("trace: cache temp: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := t.EncodeTo(tmp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("trace: cache write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("trace: cache close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), cachePath(dir, key)); err != nil {
-		return fmt.Errorf("trace: cache rename: %w", err)
+	if err := cachecore.Store(dir, key, ".pptrace", t.EncodeTo); err != nil {
+		return fmt.Errorf("trace: %w", err)
 	}
 	cacheStores.Inc()
 	return nil

@@ -21,9 +21,10 @@ import (
 // A ReplaySession is not safe for concurrent use; give each goroutine
 // its own.
 type ReplaySession struct {
-	run     ProgramRun
-	outcome string // trace provenance ("hit" or "record") for manifests
-	sess    *stats.Session
+	run        ProgramRun
+	outcome    string // trace provenance ("hit" or "record") for manifests
+	artOutcome string // frontend-artifact provenance ("hit"/"build"/"")
+	sess       *stats.Session
 }
 
 // NewReplaySession records (or loads) the program's trace and wraps it
@@ -44,7 +45,9 @@ func NewReplaySession(ctx context.Context, r ProgramRun) (*ReplaySession, error)
 	if err != nil {
 		return nil, err
 	}
-	return &ReplaySession{run: r, outcome: outcome, sess: stats.NewSession(tr)}, nil
+	sess := stats.NewSession(tr)
+	artOutcome := attachProgramArtifact(ctx, r, tr, sess)
+	return &ReplaySession{run: r, outcome: outcome, artOutcome: artOutcome, sess: sess}, nil
 }
 
 // Steps returns the number of committed instructions the session's
@@ -60,5 +63,5 @@ func (s *ReplaySession) Replay(ctx context.Context, schemes ...string) ([]Progra
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("sim: no schemes given")
 	}
-	return replaySchemeGroup(ctx, s.run, s.sess, s.outcome, schemes)
+	return replaySchemeGroup(ctx, s.run, s.sess, s.outcome, s.artOutcome, schemes)
 }

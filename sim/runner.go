@@ -10,9 +10,36 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
+)
+
+// Warm-start bookkeeping for sweeps: a warmCache memoizes validated
+// per-scheme replay statistics per (benchmark, non-carryover axis
+// coordinates), so a sweep point differing from an already-replayed
+// one only in carryover knobs — knobs the replay engine provably never
+// reads (config.Mutator.Carryover) — reuses the neighbor's statistics
+// instead of replaying. The memo is worker-local (no locking) and only
+// ever holds replay results the worker itself computed, so warm and
+// cold sweeps emit byte-identical rows.
+type warmCache struct {
+	m map[string]map[string]Stats // bench+"\x00"+warmKey -> scheme -> stats
+}
+
+// warmRef points one trace job at its sweep point's warm-start memo; a
+// zero warmRef (the plain runner's) disables reuse.
+type warmRef struct {
+	cache *warmCache
+	key   string // the point's non-carryover axis coordinates
+}
+
+// Warm-start reuse counters, on the process registry like the trace
+// and frontend cache tiers' own.
+var (
+	warmHits   = obs.Default().Counter("sweep.warmstart.hits")
+	warmMisses = obs.Default().Counter("sweep.warmstart.misses")
 )
 
 // Result is the outcome of simulating one benchmark under one scheme
@@ -185,7 +212,7 @@ func (e *Experiment) Start(ctx context.Context) (*Runner, error) {
 	}
 	var traces *traceProvider
 	if e.mode&ModeTrace != 0 {
-		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits, e.observer)
+		traces = newTraceProvider(e.traceDir, e.frontendDir, wl.profileSteps, e.commits, e.observer)
 	}
 	jobs, total := e.buildJobs(wl)
 	r := &Runner{
@@ -338,7 +365,7 @@ func instrsPerSec(committed uint64, ns int64) float64 {
 // mid-simulation and the partial results must be discarded.
 func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, meta manifestMeta) ([]Result, bool) {
 	if j.mode == ModeTrace {
-		return e.runTraceJob(ctx, traces, sessions, j, e.baseConfig, meta)
+		return e.runTraceJob(ctx, traces, sessions, j, e.baseConfig, meta, warmRef{})
 	}
 	cfg, err := e.baseConfig(j.schemes[0])
 	if err != nil {
@@ -359,10 +386,11 @@ func (e *Experiment) runJob(ctx context.Context, traces *traceProvider, sessions
 // fully-built configuration — the seam the sweep engine shares with the
 // plain runner (a sweep point is the same group with extra axis
 // mutations applied). A cell whose configuration fails to build or
-// validate keeps its error while its siblings still replay; ok is false
-// when the context was cancelled mid-replay and the whole group must be
-// discarded.
-func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, buildCfg func(string) (Config, error), meta manifestMeta) ([]Result, bool) {
+// validate keeps its error while its siblings still replay; warm-start
+// sweeps serve memoized cells from warm before replaying the rest. ok
+// is false when the context was cancelled mid-replay and the whole
+// group must be discarded.
+func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, sessions map[string]*stats.Session, j simJob, buildCfg func(string) (Config, error), meta manifestMeta, warm warmRef) ([]Result, bool) {
 	out := make([]Result, len(j.schemes))
 	for i := range j.schemes {
 		out[i] = j.result(e, i)
@@ -375,21 +403,43 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 		for i := range out {
 			out[i].Err = err
 		}
-		e.observeTraceGroup(traces, j, meta, out, nil, nil, -1)
+		e.observeTraceGroup(traces, j, meta, out, nil, nil, nil, -1)
 		return out, true
 	}
+	var memo map[string]Stats
+	memoKey := ""
+	if warm.cache != nil {
+		memoKey = j.bench + "\x00" + warm.key
+		memo = warm.cache.m[memoKey]
+	}
+	var warmed []bool
 	var cfgs []Config
 	var live []int // out index per cfgs entry
 	for i, s := range j.schemes {
 		cfg, err := buildCfg(s)
 		if err == nil {
 			// Pre-flight so one invalid configuration keeps its per-cell
-			// error instead of sinking the whole single-pass group.
+			// error instead of sinking the whole single-pass group. This
+			// runs before any warm-start reuse: a carryover knob can still
+			// make a configuration invalid, and such cells must keep their
+			// error rather than inherit a neighbor's statistics.
 			err = cfg.Validate()
 		}
 		if err != nil {
 			out[i].Err = err
 			continue
+		}
+		if st, ok := memo[s]; ok {
+			out[i].Stats = st
+			if warmed == nil {
+				warmed = make([]bool, len(out))
+			}
+			warmed[i] = true
+			warmHits.Inc()
+			continue
+		}
+		if warm.cache != nil {
+			warmMisses.Inc()
 		}
 		cfgs = append(cfgs, cfg)
 		live = append(live, i)
@@ -426,8 +476,17 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 			}
 			out[i].Stats = sts[k]
 		}
+		if warm.cache != nil && err == nil {
+			if memo == nil {
+				memo = make(map[string]Stats, len(live))
+				warm.cache.m[memoKey] = memo
+			}
+			for k, i := range live {
+				memo[j.schemes[i]] = sts[k]
+			}
+		}
 	}
-	e.observeTraceGroup(traces, j, meta, out, live, tm, segNS)
+	e.observeTraceGroup(traces, j, meta, out, live, warmed, tm, segNS)
 	return out, true
 }
 
@@ -439,14 +498,15 @@ func (e *Experiment) runTraceJob(ctx context.Context, traces *traceProvider, ses
 // exact per cell. Parallel segment replay has no per-phase split —
 // segments interleave decode, frontend and engine work across workers —
 // so those groups carry one segment span (segNS, -1 when absent) whose
-// wall time is shared evenly across the live cells. No-op without an
-// observer.
-func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta manifestMeta, out []Result, live []int, tm *stats.Timings, segNS int64) {
+// wall time is shared evenly across the live cells. Warm-started cells
+// (warmed[i], nil = none) carry their provenance flag but no phase
+// timings — no replay ran for them. No-op without an observer.
+func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta manifestMeta, out []Result, live []int, warmed []bool, tm *stats.Timings, segNS int64) {
 	o := e.observer
 	if o == nil {
 		return
 	}
-	outcome, _, _ := traces.info(j.bench)
+	outcome, artOutcome, _, _ := traces.info(j.bench)
 	var group []string
 	if len(live) > 1 {
 		group = make([]string, len(live))
@@ -472,6 +532,8 @@ func (e *Experiment) observeTraceGroup(traces *traceProvider, j simJob, meta man
 	for i := range out {
 		m := e.cellManifest(j, i, meta, out[i])
 		m.Cache = outcome
+		m.FrontendCache = artOutcome
+		m.WarmStart = warmed != nil && warmed[i]
 		m.GroupSchemes = group
 		if k, ok := liveIdx[i]; ok {
 			switch {
@@ -573,6 +635,12 @@ type ProgramRun struct {
 	Mutate  func(*Config) // optional configuration adjustment
 	// TraceDir overrides the trace cache directory for ModeTrace.
 	TraceDir string
+	// FrontendDir, when non-empty, enables the second-level
+	// frontend-artifact cache for ModeTrace (see WithFrontendCache):
+	// the program's frontend pass is loaded from (or built and stored
+	// into) that directory and replays are fed from the artifact's
+	// note stream, bit-identically to the live frontend.
+	FrontendDir string
 	// ReplayWorkers, when > 1, replays the trace in checkpointed
 	// segments on that many workers (ModeTrace only; merged statistics
 	// are bit-identical to serial replay). 0 or 1 means serial.
@@ -645,8 +713,10 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 		if err != nil {
 			return out, err
 		}
+		sess := stats.NewSession(tr)
+		artOutcome := attachProgramArtifact(ctx, r, tr, sess)
 		if o != nil {
-			sts, tm, err := stats.ReplayAllTimed(ctx, []Config{cfg}, tr, r.Commits, o.clock)
+			sts, tm, err := sess.ReplayAllTimed(ctx, []Config{cfg}, r.Commits, o.clock)
 			if len(sts) == 1 {
 				out.Stats = sts[0]
 			}
@@ -655,6 +725,7 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 			o.span(PhaseEngine, tm.EngineNS[0])
 			m := r.manifest(0, r.Scheme, ModeTrace, out.Stats)
 			m.Cache = outcome
+			m.FrontendCache = artOutcome
 			m.PhasesNS = map[string]int64{
 				PhaseDecode:   tm.DecodeNS,
 				PhaseFrontend: tm.FrontendNS,
@@ -668,8 +739,10 @@ func SimulateProgram(ctx context.Context, r ProgramRun) (ProgramResult, error) {
 			o.finishRun(err)
 			return out, err
 		}
-		st, err := stats.ReplayContext(ctx, cfg, tr, r.Commits)
-		out.Stats = st
+		sts, err := sess.ReplayAll(ctx, []Config{cfg}, r.Commits)
+		if len(sts) == 1 {
+			out.Stats = sts[0]
+		}
 		return out, err
 	}
 	if r.Mode != 0 && r.Mode != ModePipeline {
@@ -733,7 +806,9 @@ func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string
 	if err != nil {
 		return nil, err
 	}
-	return replaySchemeGroup(ctx, r, stats.NewSession(tr), outcome, schemes)
+	sess := stats.NewSession(tr)
+	artOutcome := attachProgramArtifact(ctx, r, tr, sess)
+	return replaySchemeGroup(ctx, r, sess, outcome, artOutcome, schemes)
 }
 
 // replaySchemeGroup replays one recorded trace through every scheme's
@@ -742,7 +817,7 @@ func SimulateProgramSchemes(ctx context.Context, r ProgramRun, schemes ...string
 // per-cell telemetry. Shared by SimulateProgramSchemes (one-shot
 // session) and ReplaySession.Replay (reused session, amortized build
 // pass).
-func replaySchemeGroup(ctx context.Context, r ProgramRun, sess *stats.Session, outcome string, schemes []string) ([]ProgramResult, error) {
+func replaySchemeGroup(ctx context.Context, r ProgramRun, sess *stats.Session, outcome, artOutcome string, schemes []string) ([]ProgramResult, error) {
 	cfgs := make([]Config, len(schemes))
 	for i, s := range schemes {
 		cfg, err := schemeConfig(s)
@@ -796,6 +871,7 @@ func replaySchemeGroup(ctx context.Context, r ProgramRun, sess *stats.Session, o
 		}
 		m := r.manifest(i, schemes[i], ModeTrace, sts[i])
 		m.Cache = outcome
+		m.FrontendCache = artOutcome
 		if len(schemes) > 1 {
 			m.GroupSchemes = append([]string(nil), schemes...)
 		}
@@ -815,6 +891,38 @@ func replaySchemeGroup(ctx context.Context, r ProgramRun, sess *stats.Session, o
 		o.finishRun(nil)
 	}
 	return out, nil
+}
+
+// attachProgramArtifact obtains (and attaches to sess) the program's
+// frontend artifact for the run's commit budget when r.FrontendDir
+// enables the tier: from the disk cache, or by one frontend-only pass
+// stored back for the next process. The returned provenance is "hit",
+// "build", or "" when the tier is off or the artifact could not be
+// obtained — in which case the session replays the live frontend,
+// bit-identically.
+func attachProgramArtifact(ctx context.Context, r ProgramRun, tr *trace.Trace, sess *stats.Session) string {
+	if r.FrontendDir == "" {
+		return ""
+	}
+	key := stats.ArtifactKey(
+		"program", r.Program.Name,
+		fmt.Sprintf("prog=%016x", tr.ProgHash),
+		fmt.Sprintf("commits=%d", r.Commits),
+	)
+	a, _ := stats.LoadArtifact(r.FrontendDir, key)
+	if a != nil && a.ProgHash == tr.ProgHash && (a.Covers(r.Commits) || a.Steps >= tr.Steps) {
+		if sess.SetArtifact(a) == nil {
+			r.Observer.frontendOutcome("hit")
+			return "hit"
+		}
+	}
+	a, err := stats.BuildArtifact(ctx, tr, r.Commits)
+	if err != nil || sess.SetArtifact(a) != nil {
+		return ""
+	}
+	r.Observer.frontendOutcome("build")
+	_ = stats.StoreArtifact(r.FrontendDir, key, a)
+	return "build"
 }
 
 // recordProgramTrace records (or loads from the cache) the trace of an

@@ -62,11 +62,16 @@ type SweepResult struct {
 }
 
 // sweepAxis pairs an axis's declared values with the mutation that
-// applies one of them to a configuration.
+// applies one of them to a configuration. carryover marks axes backed
+// by knobs the trace-replay engine provably never reads
+// (config.Mutator.Carryover): points differing only in carryover axes
+// have bit-identical replay statistics, which warm-started sweeps
+// exploit.
 type sweepAxis struct {
-	name   string
-	values []string
-	apply  func(*Config, string) error
+	name      string
+	values    []string
+	carryover bool
+	apply     func(*Config, string) error
 }
 
 // Sweep is a declarative parameter sweep over a base experiment: the
@@ -83,10 +88,11 @@ type sweepAxis struct {
 // matrix, the plain Experiment runner — which shards by cell — is the
 // better tool.
 type Sweep struct {
-	base   *Experiment
-	axes   []sweepAxis
-	sample int
-	seed   int64
+	base      *Experiment
+	axes      []sweepAxis
+	sample    int
+	seed      int64
+	warmStart bool
 }
 
 // SweepOption configures a Sweep under construction.
@@ -156,15 +162,17 @@ func WithAxis(name string, values ...any) SweepOption {
 		if !ok {
 			return fmt.Errorf("sim: unknown sweep axis %q (registered knobs: %v)", name, config.MutatorNames())
 		}
-		return s.addAxis(sweepAxis{name: name, values: formatValues(values), apply: m.Apply})
+		return s.addAxis(sweepAxis{name: name, values: formatValues(values), carryover: m.Carryover, apply: m.Apply})
 	}
 }
 
 // Knob describes one registered configuration knob (a WithAxis axis
-// name), for listings.
+// name), for listings. Carryover marks timing-model-only knobs whose
+// axes a warm-started sweep can reuse replay statistics across.
 type Knob struct {
-	Name string
-	Doc  string
+	Name      string
+	Doc       string
+	Carryover bool
 }
 
 // Knobs returns every registered config knob, sorted by name — the
@@ -174,7 +182,7 @@ func Knobs() []Knob {
 	out := make([]Knob, len(names))
 	for i, n := range names {
 		m, _ := config.ResolveMutator(n)
-		out[i] = Knob{Name: m.Name, Doc: m.Doc}
+		out[i] = Knob{Name: m.Name, Doc: m.Doc, Carryover: m.Carryover}
 	}
 	return out
 }
@@ -200,6 +208,24 @@ func WithMutatorAxis(name string, apply func(*Config, string) error, values ...a
 			return fmt.Errorf("sim: mutator axis %q needs an apply function", name)
 		}
 		return s.addAxis(sweepAxis{name: name, values: formatValues(values), apply: apply})
+	}
+}
+
+// WithWarmStart enables warm-started scheduling for trace-mode cells:
+// points are ordered by knob-edit distance (greedy nearest-neighbor),
+// sharded contiguously across workers, and each worker memoizes the
+// validated replay statistics of every (benchmark, non-carryover axis
+// coordinates) it has already replayed — so a point differing from an
+// already-replayed neighbor only in carryover axes (knobs declared
+// timing-model-only in the registry, e.g. mispredict.penalty) reuses
+// the neighbor's statistics instead of replaying. Results are
+// byte-identical to a cold sweep: carryover knobs provably cannot
+// change replay statistics, per-point validation still runs, and
+// point indices (and therefore sink row order) are preserved.
+func WithWarmStart(on bool) SweepOption {
+	return func(s *Sweep) error {
+		s.warmStart = on
+		return nil
 	}
 }
 
@@ -295,6 +321,75 @@ func (s *Sweep) samplePoints() []Point {
 	return pts
 }
 
+// warmKey renders a point's non-carryover axis coordinates — the
+// warm-start memo key: two points with equal warmKeys differ only in
+// carryover knobs, so their replay statistics are interchangeable.
+func (s *Sweep) warmKey(pt Point) string {
+	var b strings.Builder
+	for j, av := range pt.Values {
+		if s.axes[j].carryover {
+			continue
+		}
+		b.WriteString(av.Axis)
+		b.WriteByte('=')
+		b.WriteString(av.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// editDistance counts the axes on which two points of the same sweep
+// differ.
+func editDistance(a, b Point) int {
+	d := 0
+	for j := range a.Values {
+		if a.Values[j].Value != b.Values[j].Value {
+			d++
+		}
+	}
+	return d
+}
+
+// warmOrderLimit caps the O(n²) greedy nearest-neighbor ordering;
+// larger sweeps keep grid order (which is already adjacent in the
+// fastest-varying axis, so warm starts still hit).
+const warmOrderLimit = 2048
+
+// orderPointsForWarmStart reorders points greedily by knob-edit
+// distance: start at the first point, repeatedly step to the nearest
+// unvisited point (ties to the lowest index). Adjacent points then
+// differ in as few axes as possible, maximizing warm-start reuse once
+// the ordered list is sharded contiguously across workers. Point
+// indices are untouched — SortSweepResults restores canonical order,
+// so ordering never changes sink output.
+func orderPointsForWarmStart(pts []Point) []Point {
+	if len(pts) <= 2 || len(pts) > warmOrderLimit {
+		return pts
+	}
+	out := make([]Point, 0, len(pts))
+	used := make([]bool, len(pts))
+	cur := 0
+	used[0] = true
+	out = append(out, pts[0])
+	for len(out) < len(pts) {
+		best, bestD := -1, -1
+		for i := range pts {
+			if used[i] {
+				continue
+			}
+			// pts arrive in index order, so the first strict improvement
+			// is also the lowest-index tie-break.
+			if d := editDistance(pts[cur], pts[i]); best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		used[best] = true
+		out = append(out, pts[best])
+		cur = best
+	}
+	return out
+}
+
 // applyPoint applies a point's axis mutations, in axis order, on top
 // of an already scheme- and base-mutated configuration.
 func (s *Sweep) applyPoint(c *Config, pt Point) error {
@@ -381,9 +476,12 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 	}
 	var traces *traceProvider
 	if e.mode&ModeTrace != 0 {
-		traces = newTraceProvider(e.traceDir, wl.profileSteps, e.commits, e.observer)
+		traces = newTraceProvider(e.traceDir, e.frontendDir, wl.profileSteps, e.commits, e.observer)
 	}
 	pts := s.Points()
+	if s.warmStart {
+		pts = orderPointsForWarmStart(pts)
+	}
 	cellsPerPoint := wl.Len() * len(e.mode.modes()) * len(e.schemes)
 	r := &SweepRunner{
 		results: make(chan SweepResult, len(pts)),
@@ -400,34 +498,62 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 	if k > len(pts) && len(pts) > 0 {
 		k = len(pts)
 	}
-	pointc := make(chan Point)
-	go func() {
-		defer close(pointc)
-		for _, pt := range pts {
-			select {
-			case pointc <- pt:
-			case <-ctx.Done():
+	var wg sync.WaitGroup
+	worker := func(next func() (Point, bool), wc *warmCache) {
+		defer wg.Done()
+		sessions := make(map[string]*stats.Session)
+		for {
+			pt, ok := next()
+			if !ok || ctx.Err() != nil {
 				return
 			}
+			var warm warmRef
+			if wc != nil {
+				warm = warmRef{cache: wc, key: s.warmKey(pt)}
+			}
+			sr, ok := s.runPoint(ctx, wl, traces, sessions, pt, r, warm)
+			if !ok { // cancelled mid-point: drop the partial point
+				return
+			}
+			r.results <- sr
 		}
-	}()
-	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
-		wg.Add(1)
+	}
+	if s.warmStart {
+		// Contiguous chunk per worker: the nearest-neighbor ordering only
+		// pays off if each worker sees adjacent points, which interleaved
+		// channel dispatch would destroy.
+		for i := 0; i < k; i++ {
+			chunk := pts[i*len(pts)/k : (i+1)*len(pts)/k]
+			idx := 0
+			wg.Add(1)
+			go worker(func() (Point, bool) {
+				if idx >= len(chunk) {
+					return Point{}, false
+				}
+				pt := chunk[idx]
+				idx++
+				return pt, true
+			}, &warmCache{m: make(map[string]map[string]Stats)})
+		}
+	} else {
+		pointc := make(chan Point)
 		go func() {
-			defer wg.Done()
-			sessions := make(map[string]*stats.Session)
-			for pt := range pointc {
-				if ctx.Err() != nil {
+			defer close(pointc)
+			for _, pt := range pts {
+				select {
+				case pointc <- pt:
+				case <-ctx.Done():
 					return
 				}
-				sr, ok := s.runPoint(ctx, wl, traces, sessions, pt, r)
-				if !ok { // cancelled mid-point: drop the partial point
-					return
-				}
-				r.results <- sr
 			}
 		}()
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go worker(func() (Point, bool) {
+				pt, ok := <-pointc
+				return pt, ok
+			}, nil)
+		}
 	}
 	go func() {
 		wg.Wait()
@@ -451,7 +577,7 @@ func (s *Sweep) Start(ctx context.Context) (*SweepRunner, error) {
 // the plain runner's worker does, with the point's axis mutations
 // stacked on top of each scheme's base configuration. ok is false when
 // the context was cancelled mid-point.
-func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvider, sessions map[string]*stats.Session, pt Point, r *SweepRunner) (SweepResult, bool) {
+func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvider, sessions map[string]*stats.Session, pt Point, r *SweepRunner, warm warmRef) (SweepResult, bool) {
 	e := s.base
 	pointCfg := func(scheme string) (Config, error) {
 		cfg, err := e.baseConfig(scheme)
@@ -478,7 +604,7 @@ func (s *Sweep) runPoint(ctx context.Context, wl *Workload, traces *traceProvide
 					schemes: e.schemes, mode: m, prog: prog, pg: pg,
 				}
 				seq += len(e.schemes)
-				rs, ok := e.runTraceJob(ctx, traces, sessions, j, pointCfg, meta)
+				rs, ok := e.runTraceJob(ctx, traces, sessions, j, pointCfg, meta, warm)
 				if !ok {
 					return out, false
 				}
