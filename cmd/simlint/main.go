@@ -42,6 +42,7 @@ func run() int {
 	versionFlag := flag.String("V", "", "version protocol for the go vet driver (-V=full)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON for the go vet driver")
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	formatFlag := flag.String("format", "text", "diagnostic output format: text (stderr lines) or json (machine-readable array on stdout)")
 	listFlag := flag.Bool("list", false, "list the suite's checks and exit")
 	flag.Usage = usage
 	flag.Parse()
@@ -67,17 +68,22 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "simlint: unknown -format %q (valid: text, json)\n", *formatFlag)
+		return 1
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return runVetUnit(args[0], analyzers)
 	}
-	return runStandalone(analyzers)
+	return runStandalone(analyzers, *formatFlag)
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  simlint [-checks c1,c2] [packages]     analyze the module containing the working directory
+  simlint [-checks c1,c2] [-format text|json] [packages]
+                                         analyze the module containing the working directory
   go vet -vettool=$(which simlint) ./... run the per-package checks under the vet driver
   simlint -list                          list checks
 `)
@@ -161,7 +167,7 @@ func selectChecks(list string) ([]*lint.Analyzer, error) {
 // directory. Package patterns on the command line are accepted for
 // familiarity but the unit of analysis is always the module: regname
 // and the staleness audit only mean something against the full build.
-func runStandalone(analyzers []*lint.Analyzer) int {
+func runStandalone(analyzers []*lint.Analyzer, format string) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -178,8 +184,15 @@ func runStandalone(analyzers []*lint.Analyzer) int {
 		return 1
 	}
 	ds := lint.Run(lint.Fset(), pkgs, analyzers, cfg, lint.RunOptions{Stale: true})
-	for _, d := range ds {
-		fmt.Fprintln(os.Stderr, d.String(lint.Fset()))
+	if format == "json" {
+		if err := lint.WriteJSON(os.Stdout, lint.Fset(), root, ds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, d.String(lint.Fset()))
+		}
 	}
 	if len(ds) > 0 {
 		return 2

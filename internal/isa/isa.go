@@ -262,7 +262,8 @@ type Inst struct {
 	Rel    Rel     // compare relation
 	CType  CmpType // compare type
 	Target int     // branch/call target, instruction index
-	Label  string  // symbolic target before assembly
+	//simlint:nonsemantic assembly-time symbol, resolved into Target before any program is traced or hashed
+	Label string // symbolic target before assembly
 }
 
 // IsCompare reports whether the instruction produces predicates.

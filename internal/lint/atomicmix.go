@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicmix guards the sweep workers' shared counters: a variable or
+// field accessed through sync/atomic even once must be accessed
+// through sync/atomic everywhere, because one plain load or store
+// beside atomic traffic is a data race the happens-before machinery
+// can no longer repair — and the symptom (a counter off by a handful)
+// looks exactly like a benign accounting bug. The typed atomics
+// (atomic.Uint64 and friends, which internal/obs uses) make mixing
+// impossible by construction; this analyzer covers the function-style
+// API where the same memory is reachable both ways.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "memory accessed via sync/atomic must never be accessed by plain load/store",
+	Run:  runAtomicmix,
+}
+
+// atomicUse is one variable's atomic-access record: the call site (for
+// the diagnostic) and the source ranges of the atomic calls
+// themselves, inside which the variable's mention is sanctioned.
+type atomicUse struct {
+	callPos token.Pos
+	ranges  []posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func runAtomicmix(pass *Pass) {
+	uses := map[types.Object]*atomicUse{}
+	for _, p := range pass.All {
+		collectAtomicUses(pass, p, uses)
+	}
+	if len(uses) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		// Keys of keyed composite literals resolve to the field object
+		// but name a position, not a memory access.
+		litKeys := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					litKeys[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || litKeys[id] {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			u := uses[obj]
+			if u == nil || u.sanctioned(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed atomically (e.g. at %s) but plainly here; one plain access beside atomic traffic is a data race — use sync/atomic everywhere or a typed atomic",
+				obj.Name(), pass.Fset.Position(u.callPos))
+			return true
+		})
+	}
+}
+
+func (u *atomicUse) sanctioned(pos token.Pos) bool {
+	for _, r := range u.ranges {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomicUses records every variable whose address is passed to
+// a sync/atomic function in one package. The collection crosses the
+// whole loaded set so a plain access in this package to a counter
+// another package drives atomically is still caught (standalone mode;
+// a vet unit sees only itself).
+func collectAtomicUses(pass *Pass, p *Package, uses map[types.Object]*atomicUse) {
+	for _, f := range p.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(p, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			obj := addressedObject(p, un.X)
+			if obj == nil {
+				return true
+			}
+			u := uses[obj]
+			if u == nil {
+				u = &atomicUse{callPos: call.Pos()}
+				uses[obj] = u
+			}
+			u.ranges = append(u.ranges, posRange{call.Pos(), call.End()})
+			return true
+		})
+	}
+}
+
+// isSyncAtomicCall reports a call into package sync/atomic (resolved
+// by import path, not name, so a local package named atomic does not
+// trigger).
+func isSyncAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr's operand to the variable or field
+// whose memory the atomic call touches: &v yields v's object, &x.f the
+// field f, &a[i] the array a.
+func addressedObject(p *Package, e ast.Expr) types.Object {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[v]
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[v]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	case *ast.IndexExpr:
+		return addressedObject(p, v.X)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestAtomicmix(t *testing.T) {
+	// Stale on: the corpus's joined-workers ignore must be load-bearing.
+	runCorpus(t, "atomicmix", one(lint.Atomicmix), nil, lint.RunOptions{Stale: true})
+}

@@ -3,16 +3,22 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strconv"
 	"strings"
 )
 
 // Directive prefixes. A //simlint:ignore suppresses one check's
 // diagnostics on its own line or the line directly below; a
 // //simlint:hotpath line in a function's doc comment opts the function
-// into the hotalloc allocation rules.
+// into the hotalloc allocation rules. The field annotations
+// //simlint:transient (snapcover) and //simlint:nonsemantic (keycover)
+// exempt one struct field from its coverage rule — with a mandatory
+// reason, because an escape hatch nobody can audit is just a hole.
 const (
-	ignorePrefix = "//simlint:ignore"
-	hotpathBare  = "//simlint:hotpath"
+	ignorePrefix      = "//simlint:ignore"
+	hotpathBare       = "//simlint:hotpath"
+	transientPrefix   = "//simlint:transient"
+	nonsemanticPrefix = "//simlint:nonsemantic"
 )
 
 // ignoreDirective is one parsed //simlint:ignore comment.
@@ -43,15 +49,21 @@ func parseIgnores(fset *token.FileSet, p *Package, report func(Diagnostic)) []*i
 						Message: "//simlint:ignore needs a check name and a reason"})
 					continue
 				}
-				if len(fields) < 2 {
+				check := fields[0]
+				// The reason is everything after the check name, taken
+				// verbatim so a blank-but-present reason ("   ") is
+				// distinguishable from a missing one — both are errors:
+				// a suppression must say why it is sound.
+				reason := strings.TrimSpace(rest[strings.Index(rest, check)+len(check):])
+				if reason == "" {
 					report(Diagnostic{Check: "ignore", Pos: c.Pos(),
-						Message: "//simlint:ignore " + fields[0] + " needs a reason: say why the suppression is sound"})
+						Message: "//simlint:ignore " + check + " needs a non-blank reason: say why the suppression is sound"})
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				out = append(out, &ignoreDirective{
 					pos: c.Pos(), file: pos.Filename, line: pos.Line,
-					check: fields[0], reason: strings.Join(fields[1:], " "),
+					check: check, reason: reason,
 				})
 			}
 		}
@@ -107,13 +119,42 @@ func applyIgnores(fset *token.FileSet, pkgs []*Package, ran []*Analyzer, ds []Di
 				// subset): staleness cannot be judged.
 			default:
 				kept = append(kept, Diagnostic{Check: "ignore", Pos: ig.pos,
-					Message: "stale //simlint:ignore " + ig.check + ": no " + ig.check +
+					Message: "stale //simlint:ignore " + ig.check + " (reason: " + strconv.Quote(ig.reason) + "): no " + ig.check +
 						" diagnostic on this or the next line; remove the suppression"})
 			}
 		}
 	}
 	sortDiagnostics(fset, kept)
 	return kept
+}
+
+// fieldAnnotation looks for a field-level directive attached to the
+// declaration at pos: a comment with the given prefix (followed by a
+// space or end of comment) on the declaration's own line or the line
+// directly above, in the file containing pos. It returns the
+// directive's reason text and whether a directive was found at all —
+// callers report a found-but-blank reason themselves, because the
+// escape hatch is reason-mandatory.
+func fieldAnnotation(fset *token.FileSet, files []*ast.File, pos token.Pos, prefix string) (reason string, found bool) {
+	target := fset.Position(pos)
+	for _, f := range files {
+		if fset.Position(f.Pos()).Filename != target.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				if line == target.Line || line == target.Line-1 {
+					return strings.TrimSpace(rest), true
+				}
+			}
+		}
+	}
+	return "", false
 }
 
 // hotpathFuncs returns the package's functions whose doc comment

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne runs parseIgnores over a single synthesized source file and
+// returns the parsed directives plus any malformed-directive
+// diagnostics. Synthesized because the interesting inputs carry
+// trailing whitespace inside comments, which gofmt strips — they
+// cannot survive in an on-disk corpus file.
+func parseOne(t *testing.T, src string) ([]*ignoreDirective, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synth.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Package{Path: "synth", Files: []*ast.File{f}, Filenames: []string{"synth.go"}}
+	var malformed []Diagnostic
+	igs := parseIgnores(fset, p, func(d Diagnostic) { malformed = append(malformed, d) })
+	return igs, malformed
+}
+
+// TestIgnoreWhitespaceOnlyReason: a reason that is only whitespace —
+// trailing tabs, spaces, or Unicode spaces like NBSP — is just as
+// unauditable as no reason at all and must be rejected, not recorded
+// as a live suppression.
+func TestIgnoreWhitespaceOnlyReason(t *testing.T) {
+	cases := []struct {
+		name string
+		tail string // appended after "//simlint:ignore seedrand"
+	}{
+		{"trailing space and tab", " \t "},
+		{"trailing tab", "\t"},
+		{"nbsp", "  "},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\n\nfunc f() {\n\t//simlint:ignore seedrand" + tc.tail + "\n}\n"
+			igs, malformed := parseOne(t, src)
+			if len(igs) != 0 {
+				t.Errorf("whitespace-only reason parsed as a live directive: %+v", igs[0])
+			}
+			if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "needs a non-blank reason") {
+				t.Errorf("want one needs-a-non-blank-reason diagnostic, got %+v", malformed)
+			}
+		})
+	}
+}
+
+// TestIgnoreReasonParsing: well-formed directives keep their reason
+// verbatim (trimmed), and the two malformed shapes report distinctly.
+func TestIgnoreReasonParsing(t *testing.T) {
+	src := "package p\n\nfunc f() {\n" +
+		"\t//simlint:ignore seedrand demo generator, seed is irrelevant here\n" +
+		"\t//simlint:ignore\n" +
+		"}\n"
+	igs, malformed := parseOne(t, src)
+	if len(igs) != 1 {
+		t.Fatalf("want 1 directive, got %d", len(igs))
+	}
+	if igs[0].check != "seedrand" || igs[0].reason != "demo generator, seed is irrelevant here" {
+		t.Errorf("parsed directive = %q / %q", igs[0].check, igs[0].reason)
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "needs a check name and a reason") {
+		t.Errorf("want one needs-a-check-name diagnostic, got %+v", malformed)
+	}
+}

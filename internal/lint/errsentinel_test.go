@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestErrsentinel(t *testing.T) {
+	// Stale on: the corpus's identity-comparison ignore must be
+	// load-bearing.
+	runCorpus(t, "errsentinel", one(lint.Errsentinel), nil, lint.RunOptions{Stale: true})
+}

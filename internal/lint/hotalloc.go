@@ -193,7 +193,13 @@ func preallocated(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
 		case *ast.AssignStmt:
 			for i, lhs := range v.Lhs {
 				id, isID := lhs.(*ast.Ident)
-				if !isID || pass.Pkg.Info.Defs[id] != obj || i >= len(v.Rhs) {
+				if !isID || i >= len(v.Rhs) {
+					continue
+				}
+				// := records the ident in Defs, a plain = re-assigning a
+				// previously declared slice records it in Uses; a sized
+				// make through either shape preallocates.
+				if pass.Pkg.Info.Defs[id] != obj && pass.Pkg.Info.Uses[id] != obj {
 					continue
 				}
 				if makeWithCap(pass, v.Rhs[i]) {

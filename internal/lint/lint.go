@@ -99,7 +99,10 @@ func (d Diagnostic) String(fset *token.FileSet) string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Layering, Detorder, Hotalloc, Regname, Ctxflow, Seedrand}
+	return []*Analyzer{
+		Layering, Detorder, Hotalloc, Regname, Ctxflow, Seedrand,
+		Snapcover, Keycover, Atomicmix, Errsentinel,
+	}
 }
 
 // PackageAnalyzers returns the subset of the suite that runs

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+)
+
+// JSONDiagnostic is one finding in the machine-readable report: the
+// shape CI's annotation step consumes. File paths are root-relative
+// with forward slashes so the report is stable across checkouts and
+// maps directly onto repository paths in annotations.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// Suppressible marks findings a //simlint:ignore directive could
+	// silence. Directive hygiene findings (check "ignore") are not:
+	// suppressing the suppression auditor would defeat it.
+	Suppressible bool `json:"suppressible"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (always an array —
+// `[]` when clean, so consumers never special-case the empty report).
+// Diagnostics arrive sorted from Run, and every field is a pure
+// function of the findings, so the output is byte-stable across runs.
+func WriteJSON(w io.Writer, fset *token.FileSet, root string, ds []Diagnostic) error {
+	out := make([]JSONDiagnostic, 0, len(ds))
+	for _, d := range ds {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			File:         filepath.ToSlash(file),
+			Line:         pos.Line,
+			Col:          pos.Column,
+			Check:        d.Check,
+			Message:      d.Message,
+			Suppressible: d.Check != "ignore",
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

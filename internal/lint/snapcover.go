@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Snapcover guards the exact-state contract behind parallel segment
+// replay: a type with a Snapshot/Restore pair promises that Restore
+// after Snapshot reproduces the component bit-for-bit, so every field
+// the simulation mutates must be written by Snapshot and read back by
+// Restore. A field that misses the round trip diverges silently — the
+// parallel replay produces *almost* the serial statistics, which is the
+// worst possible failure mode for an equivalence methodology. Fields
+// that are genuinely derivable or rebuilt (scratch buffers, caches)
+// carry a reason-mandatory //simlint:transient annotation. The analyzer
+// also flags Snapshot methods that hand out field-backed slices or maps
+// without copying: an aliased snapshot mutates along with the live
+// component and restores nothing.
+var Snapcover = &Analyzer{
+	Name: "snapcover",
+	Doc:  "every mutated field of a Snapshot/Restore type must round-trip (or be //simlint:transient)",
+	Run:  runSnapcover,
+}
+
+// snapPair is one type with both halves of the snapshot protocol.
+type snapPair struct {
+	name     string
+	spec     *ast.TypeSpec
+	st       *ast.StructType
+	snapshot *ast.FuncDecl
+	restore  *ast.FuncDecl
+}
+
+func runSnapcover(pass *Pass) {
+	pairs := snapPairs(pass)
+	if len(pairs) == 0 {
+		return
+	}
+	mutated := mutatedFields(pass)
+	for _, pr := range pairs {
+		checkSnapPair(pass, pr, mutated)
+		checkSnapAliasing(pass, pr)
+	}
+}
+
+// snapPairs finds the package's named struct types that declare both a
+// Snapshot and a Restore method (any casing, any receiver shape).
+func snapPairs(pass *Pass) []*snapPair {
+	byType := map[string]*snapPair{}
+	var order []string
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tname := recvTypeName(fd)
+			if tname == "" {
+				continue
+			}
+			pr := byType[tname]
+			if pr == nil {
+				pr = &snapPair{name: tname}
+				byType[tname] = pr
+				order = append(order, tname)
+			}
+			switch {
+			case strings.EqualFold(fd.Name.Name, "Snapshot"):
+				pr.snapshot = fd
+			case strings.EqualFold(fd.Name.Name, "Restore"):
+				pr.restore = fd
+			}
+		}
+	}
+	var out []*snapPair
+	for _, tname := range order {
+		pr := byType[tname]
+		if pr.snapshot == nil || pr.restore == nil {
+			continue
+		}
+		pr.spec, pr.st = findStructSpec(pass.Pkg, tname)
+		if pr.st == nil {
+			continue
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// recvTypeName returns the name of a method's receiver type ("" when
+// the receiver is not a plain (possibly pointer) named type).
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// findStructSpec locates a named struct type's declaration in a
+// package's files.
+func findStructSpec(p *Package, name string) (*ast.TypeSpec, *ast.StructType) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return ts, st
+				}
+				return nil, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkSnapPair verifies the round trip of one pair: each field the
+// module mutates must be used in both Snapshot and Restore or carry a
+// //simlint:transient reason.
+func checkSnapPair(pass *Pass, pr *snapPair, mutated map[*types.Var]token.Pos) {
+	snapFields, snapWhole := receiverFieldUse(pass, pr.snapshot)
+	restFields, restWhole := receiverFieldUse(pass, pr.restore)
+	for _, field := range pr.st.Fields.List {
+		for _, name := range field.Names {
+			obj, _ := pass.Pkg.Info.Defs[name].(*types.Var)
+			if obj == nil {
+				continue
+			}
+			mutPos, isMutated := mutated[obj]
+			if !isMutated {
+				continue // constructor-only configuration: nothing to restore
+			}
+			inSnap := snapWhole || snapFields[name.Name]
+			inRest := restWhole || restFields[name.Name]
+			if inSnap && inRest {
+				continue
+			}
+			reason, found := fieldAnnotation(pass.Fset, pass.Pkg.Files, name.Pos(), transientPrefix)
+			if found && reason != "" {
+				continue
+			}
+			if found {
+				pass.Reportf(name.Pos(), "//simlint:transient on %s.%s needs a reason: say why the field is safe to skip",
+					pr.name, name.Name)
+				continue
+			}
+			missing := "Snapshot and Restore"
+			switch {
+			case inSnap:
+				missing = "Restore"
+			case inRest:
+				missing = "Snapshot"
+			}
+			pass.Reportf(name.Pos(), "field %s.%s is mutated (e.g. at %s) but missing from %s; restoring a snapshot will not reproduce it — round-trip the field or annotate //simlint:transient <reason>",
+				pr.name, name.Name, pass.Fset.Position(mutPos), missing)
+		}
+	}
+}
+
+// receiverFieldUse analyzes one method body: which top-level receiver
+// fields it touches, and whether it uses the whole receiver value
+// (*r copies, helper method calls, passing r onward), which covers
+// every field at once.
+func receiverFieldUse(pass *Pass, fd *ast.FuncDecl) (fields map[string]bool, whole bool) {
+	fields = map[string]bool{}
+	if fd.Body == nil {
+		return fields, false
+	}
+	if len(fd.Recv.List[0].Names) == 0 {
+		return fields, false // receiver unnamed: the body cannot touch fields
+	}
+	recv := pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return fields, false
+	}
+	consumed := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != recv {
+			return true
+		}
+		s := pass.Pkg.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if st := structOf(recv.Type()); st != nil && len(s.Index()) > 0 && s.Index()[0] < st.NumFields() {
+			fields[st.Field(s.Index()[0]).Name()] = true
+			consumed[id] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.Pkg.Info.Uses[id] == recv && !consumed[id] {
+			// `*r = s`, `return *r`, `r.helper()`, `f(r)`: the whole value
+			// flows, which reaches every field.
+			whole = true
+		}
+		return true
+	})
+	return fields, whole
+}
+
+// mutatedFields scans every loaded package for writes into struct
+// fields: assignments, ++/--, address-taking, copy() destinations and
+// pointer-receiver method calls on field chains. Constructors (New*/
+// new*-named functions) and Snapshot/Restore methods themselves are
+// excluded — a field only a constructor writes is configuration, and
+// the restore path writing fields is the protocol, not simulation
+// mutation. Under the per-package vet protocol the scan sees one unit,
+// so cross-package mutations are the standalone mode's catch.
+func mutatedFields(pass *Pass) map[*types.Var]token.Pos {
+	out := map[*types.Var]token.Pos{}
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || skipForMutation(fd) {
+					continue
+				}
+				collectMutations(p, fd.Body, out)
+			}
+		}
+	}
+	return out
+}
+
+// skipForMutation excludes constructors and the snapshot protocol's own
+// methods from the mutation scan.
+func skipForMutation(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+		return true
+	}
+	if fd.Recv != nil && (strings.EqualFold(name, "Snapshot") || strings.EqualFold(name, "Restore")) {
+		return true
+	}
+	return false
+}
+
+func collectMutations(p *Package, body ast.Node, out map[*types.Var]token.Pos) {
+	record := func(e ast.Expr) {
+		markFieldChain(p, e, out)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(v.X)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				record(v.X)
+			}
+		case *ast.CallExpr:
+			if isBuiltinIn(p, v.Fun, "copy") && len(v.Args) > 0 {
+				record(v.Args[0])
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal && ptrReceiver(s) {
+					record(sel.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markFieldChain records every struct field along a mutated expression
+// chain: e.pvt.entries[i] marks both entries (of the table type) and
+// pvt (of the engine type), because mutating through a field mutates
+// the field's value.
+func markFieldChain(p *Package, e ast.Expr, out map[*types.Var]token.Pos) {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if s := p.Info.Selections[v]; s != nil && s.Kind() == types.FieldVal {
+				if fv, ok := s.Obj().(*types.Var); ok {
+					if _, seen := out[fv]; !seen {
+						out[fv] = v.Sel.Pos()
+					}
+				}
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return
+		}
+	}
+}
+
+// ptrReceiver reports whether a method selection binds a pointer
+// receiver — the shape through which the call can mutate its operand.
+func ptrReceiver(s *types.Selection) bool {
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// checkSnapAliasing flags Snapshot bodies that hand a field-backed
+// slice or map straight to the snapshot value: the "snapshot" then
+// shares storage with the live component and mutates along with it.
+// Copy shapes (append into a fresh slice, copy()) take the field
+// through an argument position, which is not flagged.
+func checkSnapAliasing(pass *Pass, pr *snapPair) {
+	fd := pr.snapshot
+	if fd.Body == nil || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recv := pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return
+	}
+	flag := func(e ast.Expr) {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != recv {
+			return
+		}
+		s := pass.Pkg.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return
+		}
+		switch s.Obj().Type().Underlying().(type) {
+		case *types.Slice, *types.Map:
+			pass.Reportf(e.Pos(), "Snapshot aliases %s.%s: the snapshot shares the field's storage and mutates with the live value; copy it (append into a fresh slice, maps.Clone)",
+				pr.name, sel.Sel.Name)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				flag(r)
+			}
+		case *ast.AssignStmt:
+			for _, r := range v.Rhs {
+				flag(r)
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					flag(kv.Value)
+					continue
+				}
+				flag(el)
+			}
+		}
+		return true
+	})
+}
+
+// structOf dereferences to the underlying struct of a (possibly
+// pointer) type, nil when it is not a struct.
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isBuiltinIn is isBuiltin against an explicit package (the mutation
+// scan crosses packages, so pass.Pkg is the wrong Info).
+func isBuiltinIn(p *Package, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestSnapcover(t *testing.T) {
+	// Stale on: the corpus's migration-shim ignore must be load-bearing.
+	runCorpus(t, "snapcover", one(lint.Snapcover), nil, lint.RunOptions{Stale: true})
+}

@@ -1,0 +1,49 @@
+// Package a exercises the atomicmix analyzer: memory touched through
+// sync/atomic must be touched through sync/atomic everywhere.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+var global counters
+
+// hits is atomic on every path: fine.
+func bump() {
+	atomic.AddUint64(&global.hits, 1)
+}
+
+func readHits() uint64 {
+	return atomic.LoadUint64(&global.hits)
+}
+
+// misses is atomic here...
+func miss() {
+	atomic.AddUint64(&global.misses, 1)
+}
+
+// ...and plain here: the race.
+func report() uint64 {
+	return global.misses // want `misses is accessed atomically .* but plainly here`
+}
+
+// plainTotal never goes near sync/atomic: fine.
+var plainTotal uint64
+
+func accumulate(v uint64) {
+	plainTotal += v
+}
+
+// resets documents a sanctioned single-threaded reset.
+var resets uint64
+
+func reset() {
+	atomic.AddUint64(&resets, 1)
+}
+
+func zero() {
+	resets = 0 //simlint:ignore atomicmix workers are joined before the reset; no concurrent access remains
+}

@@ -1,0 +1,63 @@
+// Package a exercises the errsentinel analyzer: sentinels are matched
+// with errors.Is and wrapped with %w, nothing else.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt and errInternal are sentinels by shape: package-level
+// error variables named Err*/err*.
+var ErrCorrupt = errors.New("corrupt")
+
+var errInternal = errors.New("internal")
+
+// classify compares by identity: the bug, in both directions.
+func classify(err error) string {
+	if err == ErrCorrupt { // want `sentinel ErrCorrupt compared with ==`
+		return "corrupt"
+	}
+	if errInternal != err { // want `sentinel errInternal compared with !=`
+		return "other"
+	}
+	return "internal"
+}
+
+// classifyWell matches through the chain: fine.
+func classifyWell(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+// nilCheck is not a sentinel comparison: fine.
+func nilCheck(err error) bool { return err == nil }
+
+// triage switches on identity: same bug, different syntax.
+func triage(err error) int {
+	switch err {
+	case ErrCorrupt: // want `switch case matches sentinel ErrCorrupt by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// wrap severs the chain with %v; wrapWell keeps it with %w.
+func wrap(path string) error {
+	return fmt.Errorf("load %s: %v", path, ErrCorrupt) // want `sentinel ErrCorrupt wrapped with %v`
+}
+
+func wrapWell(path string) error {
+	return fmt.Errorf("load %s: %w", path, ErrCorrupt)
+}
+
+// starWidth keeps the verb/operand mapping honest across * operands.
+func starWidth(n int) error {
+	return fmt.Errorf("%*d attempts: %s", n, 3, errInternal) // want `sentinel errInternal wrapped with %s`
+}
+
+// exactMatch documents a sanctioned identity comparison.
+func exactMatch(err error) bool {
+	return err == ErrCorrupt //simlint:ignore errsentinel identity is the point here: this sentinel is never wrapped on this path
+}

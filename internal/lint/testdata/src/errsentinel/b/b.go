@@ -1,0 +1,9 @@
+// Package b proves sentinel matching crosses packages: a's sentinel
+// compared by identity here is still a finding.
+package b
+
+import "a"
+
+func check(err error) bool {
+	return err == a.ErrCorrupt // want `sentinel ErrCorrupt compared with ==`
+}

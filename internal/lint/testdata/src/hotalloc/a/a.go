@@ -34,6 +34,20 @@ func sized(events []event) []int {
 	return out
 }
 
+// lateSized declares first and sizes later: the explicit-capacity make
+// through a plain assignment still preallocates, so the append is
+// fine. (This was a false positive: only := declarations counted.)
+//
+//simlint:hotpath
+func lateSized(events []event) []int {
+	var out []int
+	out = make([]int, 0, len(events))
+	for _, ev := range events {
+		out = append(out, ev.pc)
+	}
+	return out
+}
+
 // boxing converts concrete values to interfaces.
 //
 //simlint:hotpath

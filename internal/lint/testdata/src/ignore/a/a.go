@@ -24,3 +24,8 @@ func malformed(r *rand.Rand) int {
 	//simlint:ignore
 	return n
 }
+
+// A whitespace-only reason is rejected the same way as a missing one,
+// but gofmt trims trailing whitespace inside comments, so that case
+// cannot live in a corpus file — it is covered by the synthesized
+// sources in directives_internal_test.go instead.

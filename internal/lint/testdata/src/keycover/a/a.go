@@ -1,0 +1,68 @@
+// Package a exercises the keycover analyzer: every field of a hashed
+// struct must feed the hash function, with //simlint:nonsemantic as the
+// audited escape hatch.
+package a
+
+import "fmt"
+
+// spec hashes reflectively: the whole value flows, covering every
+// field at once (the bench.Spec shape).
+type spec struct {
+	name string
+	n    int
+}
+
+func (s spec) Hash() string {
+	return fmt.Sprintf("%+v", s)
+}
+
+// knob reads selectively and skips one semantic field.
+type knob struct {
+	entries int
+	penalty int // want `field knob.penalty is not consumed by a.HashKnob`
+	//simlint:nonsemantic display label, never reaches the generator
+	label string
+}
+
+func HashKnob(k *knob) int {
+	return k.entries * 31
+}
+
+// badnote annotates without a reason: the annotation is the finding.
+type badnote struct {
+	rows int
+	//simlint:nonsemantic
+	note string // want `simlint:nonsemantic on badnote.note needs a reason`
+}
+
+func HashBadnote(b badnote) int { return b.rows }
+
+// prog/inst: coverage flows through range values into the element
+// struct, whose unread field is a finding of its own.
+type inst struct {
+	op  int
+	imm int
+	tag string // want `field inst.tag is not consumed by a.HashProg`
+}
+
+type prog struct {
+	insts []inst
+	//simlint:nonsemantic debug name; replay depends only on insts
+	name string
+}
+
+func HashProg(p *prog) int {
+	h := 0
+	for _, in := range p.insts {
+		h = h*31 + in.op
+		h = h*31 + in.imm
+	}
+	return h
+}
+
+// capped documents a known skip with a justified suppression.
+type capped struct {
+	limit int //simlint:ignore keycover limit only bounds generation retries and cannot change the generated stream
+}
+
+func HashCapped(c capped) int { return 7 }

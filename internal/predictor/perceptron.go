@@ -18,6 +18,7 @@ type Perceptron struct {
 	theta   int32
 	perRow  int
 	// ideal-mode aliasing elimination: PC -> private row
+	//simlint:transient configuration set once at engine build (SetIdeal); Restore targets a predictor built from the same configuration
 	ideal     bool
 	idealRows map[uint64]int
 }

@@ -15,8 +15,10 @@ import (
 // Program is an assembled (or in-progress) instruction sequence. PC values
 // are instruction indices; the timing model maps them to byte addresses.
 type Program struct {
-	Name   string
-	Insts  []isa.Inst
+	//simlint:nonsemantic display/diagnostic name; execution is fully determined by Insts
+	Name  string
+	Insts []isa.Inst
+	//simlint:nonsemantic assembly-time symbol table, folded into Inst.Target by Resolve before tracing
 	Labels map[string]int // label -> instruction index
 }
 

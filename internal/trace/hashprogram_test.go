@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildLoop assembles a two-instruction loop whose only difference
+// across calls is the non-architectural metadata: the program name and
+// the label spelling. Target resolution makes the instruction streams
+// identical.
+func buildLoop(t *testing.T, name, label string) *program.Program {
+	t.Helper()
+	p := program.New(name)
+	p.Mark(label)
+	p.Append(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1})
+	p.Append(isa.Inst{Op: isa.OpBr, Label: label})
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHashProgramIgnoresNonsemanticFields is the regression test
+// behind the //simlint:nonsemantic annotations keycover demanded on
+// Program.Name, Program.Labels and Inst.Label: once Resolve has folded
+// labels into Target, none of them can change replay, so none of them
+// may move the cache key — otherwise renaming a label would spuriously
+// re-record every trace.
+func TestHashProgramIgnoresNonsemanticFields(t *testing.T) {
+	base := buildLoop(t, "loop", "top")
+	renamed := buildLoop(t, "loop-v2", "head")
+	if base.Insts[1].Target != renamed.Insts[1].Target {
+		t.Fatalf("resolution differs: %d vs %d", base.Insts[1].Target, renamed.Insts[1].Target)
+	}
+	if HashProgram(base) != HashProgram(renamed) {
+		t.Error("renaming the program and its labels moved the hash; nonsemantic fields must not feed the cache key")
+	}
+}
+
+// TestHashProgramSeesSemanticFields: the counterpart — every
+// architecturally meaningful mutation must move the hash, or distinct
+// programs would collide onto one cached trace.
+func TestHashProgramSeesSemanticFields(t *testing.T) {
+	base := buildLoop(t, "loop", "top")
+	hash := HashProgram(base)
+
+	mutations := []struct {
+		name string
+		mut  func(p *program.Program)
+	}{
+		{"imm", func(p *program.Program) { p.Insts[0].Imm = 2 }},
+		{"rd", func(p *program.Program) { p.Insts[0].Rd = 2 }},
+		{"target", func(p *program.Program) { p.Insts[1].Target = 1 }},
+		{"qp", func(p *program.Program) { p.Insts[1].QP = 1 }},
+	}
+	for _, m := range mutations {
+		p := buildLoop(t, "loop", "top")
+		m.mut(p)
+		if HashProgram(p) == hash {
+			t.Errorf("mutating %s did not move the hash", m.name)
+		}
+	}
+}
